@@ -1,0 +1,39 @@
+# pmgard build and verification targets.
+
+GO ?= go
+
+.PHONY: all build test vet race fuzz bench bench-full experiments clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+	gofmt -l . | (! grep .) || (echo "gofmt needed on the files above" && exit 1)
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over every fuzz target (regression corpora always run
+# under plain `make test`).
+fuzz:
+	$(GO) test -fuzz FuzzOpen -fuzztime 30s ./internal/storage/
+	$(GO) test -fuzz FuzzRoundTrip -fuzztime 30s ./internal/lossless/
+	$(GO) test -fuzz FuzzDecompressGarbage -fuzztime 30s ./internal/lossless/
+	$(GO) test -fuzz FuzzRead -fuzztime 30s ./internal/fieldio/
+
+# testing.B harness at smoke scale (one pass per figure).
+bench:
+	$(GO) test -bench . -benchmem -benchtime 1x .
+
+# Regenerate every paper table/figure at default scale (~25 min on 1 core).
+experiments:
+	$(GO) run ./cmd/bench -exp all
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,101 @@
+// Command compare pits the progressive pipeline against the one-shot
+// SZ-style and ZFP-style baselines on a field file: per-bound archive sizes,
+// progressive retrieval bytes, achieved errors, and the total storage cost
+// of serving every bound (the paper's §I motivation).
+//
+// Usage:
+//
+//	compare -in field.field [-bounds 1e-6,1e-4,1e-2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pmgard/internal/core"
+	"pmgard/internal/fieldio"
+	"pmgard/internal/grid"
+	"pmgard/internal/sz"
+	"pmgard/internal/zfp"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "input field file")
+		boundsArg = flag.String("bounds", "1e-8,1e-6,1e-4,1e-2,1e-1", "comma-separated relative error bounds")
+	)
+	flag.Parse()
+	if err := run(*in, *boundsArg); err != nil {
+		fmt.Fprintln(os.Stderr, "compare:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, boundsArg string) error {
+	if in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	meta, field, err := fieldio.Read(in)
+	if err != nil {
+		return err
+	}
+	var bounds []float64
+	for _, s := range strings.Split(boundsArg, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("bad bound %q", s)
+		}
+		bounds = append(bounds, v)
+	}
+
+	c, err := core.Compress(field, core.DefaultConfig(), meta.Field, meta.Timestep)
+	if err != nil {
+		return err
+	}
+	h := &c.Header
+	est := h.TheoryEstimator()
+	fmt.Printf("field %s (dims %v): raw %d bytes, progressive store %d bytes\n\n",
+		meta.Field, field.Dims(), 8*field.Len(), h.TotalBytes())
+	fmt.Println("rel_bound   sz_bytes  zfp_bytes  prog_bytes     sz_err    zfp_err   prog_err")
+
+	var szTotal, zfpTotal int64
+	for _, rel := range bounds {
+		tol := h.AbsTolerance(rel)
+		if tol <= 0 {
+			return fmt.Errorf("field has zero range; relative bounds are meaningless")
+		}
+		szBlob, err := sz.Compress(field, tol)
+		if err != nil {
+			return err
+		}
+		szRec, _, err := sz.Decompress(szBlob)
+		if err != nil {
+			return err
+		}
+		zfpBlob, err := zfp.Compress(field, tol)
+		if err != nil {
+			return err
+		}
+		zfpRec, _, err := zfp.Decompress(zfpBlob)
+		if err != nil {
+			return err
+		}
+		rec, plan, err := core.RetrieveTolerance(h, c, est, tol)
+		if err != nil {
+			return err
+		}
+		szTotal += int64(len(szBlob))
+		zfpTotal += int64(len(zfpBlob))
+		fmt.Printf("%9.0e %10d %10d %11d %10.2e %10.2e %10.2e\n",
+			rel, len(szBlob), len(zfpBlob), plan.Bytes,
+			grid.MaxAbsDiff(field, szRec),
+			grid.MaxAbsDiff(field, zfpRec),
+			grid.MaxAbsDiff(field, rec))
+	}
+	fmt.Printf("\nstorage to serve all %d bounds: sz %d, zfp %d, progressive %d (stored once)\n",
+		len(bounds), szTotal, zfpTotal, h.TotalBytes())
+	return nil
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pmgard/internal/fieldio"
+	"pmgard/internal/sim/warpx"
+)
+
+func TestCompareFlow(t *testing.T) {
+	dir := t.TempDir()
+	f, err := warpx.DefaultConfig(9, 9, 9).Field("Ex", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "ex.field")
+	if err := fieldio.Write(path, fieldio.Meta{Field: "Ex", Timestep: 2}, f); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "1e-4,1e-2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareValidation(t *testing.T) {
+	if err := run("", "1e-4"); err == nil {
+		t.Error("missing input accepted")
+	}
+	dir := t.TempDir()
+	f, _ := warpx.DefaultConfig(9, 9, 9).Field("Ex", 0)
+	path := filepath.Join(dir, "x.field")
+	fieldio.Write(path, fieldio.Meta{Field: "Ex"}, f)
+	if err := run(path, "abc"); err == nil {
+		t.Error("malformed bound accepted")
+	}
+	if err := run(path, "-1"); err == nil {
+		t.Error("negative bound accepted")
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pmgard/internal/fieldio"
+)
+
+func TestGenerateWarpX(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("warpx", dir, 9, 2, "Jx,Ex", 3, 1, 0.08, 7); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"warpx_Jx_t0000.field", "warpx_Jx_t0001.field",
+		"warpx_Ex_t0000.field", "warpx_Ex_t0001.field",
+	} {
+		meta, f, err := fieldio.Read(filepath.Join(dir, want))
+		if err != nil {
+			t.Fatalf("%s: %v", want, err)
+		}
+		if f.Len() != 9*9*9 {
+			t.Fatalf("%s: %d values", want, f.Len())
+		}
+		if meta.Field == "" {
+			t.Fatalf("%s: empty field name", want)
+		}
+	}
+}
+
+func TestGenerateGrayScott(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("grayscott", dir, 17, 1, "", 0, 0, 0, 42); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 { // Du and Dv
+		t.Fatalf("generated %d files, want 2", len(entries))
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("nope", dir, 9, 1, "", 1, 1, 0.1, 1); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if err := run("warpx", dir, 2, 1, "", 1, 1, 0.1, 1); err == nil {
+		t.Error("tiny grid accepted")
+	}
+}

@@ -1,0 +1,264 @@
+// Command mgard drives the progressive compression and retrieval pipeline
+// on field files.
+//
+// Subcommands:
+//
+//	mgard compress -in field.field -out field.pmgd [-levels 5 -planes 32 -codec deflate]
+//	mgard compress -in field.field -tiered dir/      (place levels across storage tiers)
+//	mgard inspect  -in field.pmgd
+//	mgard retrieve -in field.pmgd -rel 1e-4 [-control theory|emgard|planes]
+//	               [-model emgard.gob] [-planes 12,10,8,6,4]
+//	               [-orig field.field] [-out recon.field]
+//	mgard retrieve -tiered dir/ -rel 1e-4            (read from a tiered store)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pmgard/internal/core"
+	"pmgard/internal/decompose"
+	"pmgard/internal/emgard"
+	"pmgard/internal/fieldio"
+	"pmgard/internal/grid"
+	"pmgard/internal/lossless"
+	"pmgard/internal/retrieval"
+	"pmgard/internal/storage"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "compress":
+		err = cmdCompress(os.Args[2:])
+	case "inspect":
+		err = cmdInspect(os.Args[2:])
+	case "retrieve":
+		err = cmdRetrieve(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mgard:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mgard <compress|inspect|retrieve> [flags]")
+}
+
+func cmdCompress(args []string) error {
+	fs := flag.NewFlagSet("compress", flag.ExitOnError)
+	in := fs.String("in", "", "input field file")
+	out := fs.String("out", "", "output .pmgd file")
+	tiered := fs.String("tiered", "", "output tiered-store directory (instead of -out)")
+	levels := fs.Int("levels", 5, "coefficient levels")
+	planes := fs.Int("planes", 32, "bit-planes per level")
+	codec := fs.String("codec", "deflate", "lossless codec: deflate, rle, huffman, raw")
+	fs.Parse(args)
+	if *in == "" || (*out == "" && *tiered == "") {
+		return fmt.Errorf("compress: -in and one of -out/-tiered are required")
+	}
+	meta, field, err := fieldio.Read(*in)
+	if err != nil {
+		return err
+	}
+	cod, err := lossless.ByName(*codec)
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{
+		Decompose: decompose.Options{Levels: *levels, Update: true, UpdateWeight: 0.25},
+		Planes:    *planes,
+		Codec:     cod,
+	}
+	c, err := core.Compress(field, cfg, meta.Field, meta.Timestep)
+	if err != nil {
+		return err
+	}
+	if *tiered != "" {
+		hier, err := storage.DefaultHierarchy(*levels)
+		if err != nil {
+			return err
+		}
+		if err := c.WriteTiered(*tiered, hier); err != nil {
+			return err
+		}
+	} else if err := c.WriteFile(*out); err != nil {
+		return err
+	}
+	raw := int64(8 * field.Len())
+	stored := c.Header.TotalBytes()
+	fmt.Printf("compressed %s (t=%d, dims %v): %d → %d payload bytes (%.2fx)\n",
+		meta.Field, meta.Timestep, field.Dims(), raw, stored, float64(raw)/float64(stored))
+	return nil
+}
+
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	in := fs.String("in", "", "input .pmgd file")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("inspect: -in is required")
+	}
+	h, st, err := core.OpenFile(*in)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	fmt.Printf("field %s  t=%d  dims %v  planes %d  codec %s  range %.6g\n",
+		h.FieldName, h.Timestep, h.Dims, h.Planes, h.CodecName, h.ValueRange)
+	fmt.Printf("theory constant C = %.4g; stored payload %d bytes\n",
+		h.TheoryEstimator().C, h.TotalBytes())
+	for l, lm := range h.Levels {
+		var total int64
+		for _, s := range lm.PlaneSizes {
+			total += s
+		}
+		fmt.Printf("  level %d: %7d coeffs  exp %4d  bytes %8d  Err[0]=%.3e  Err[B]=%.3e\n",
+			l, lm.N, lm.Exponent, total, lm.ErrMatrix[0], lm.ErrMatrix[len(lm.ErrMatrix)-1])
+	}
+	return nil
+}
+
+func cmdRetrieve(args []string) error {
+	fs := flag.NewFlagSet("retrieve", flag.ExitOnError)
+	in := fs.String("in", "", "input .pmgd file")
+	tiered := fs.String("tiered", "", "input tiered-store directory (instead of -in)")
+	rel := fs.Float64("rel", 0, "relative error bound")
+	abs := fs.Float64("abs", 0, "absolute error bound (overrides -rel)")
+	control := fs.String("control", "theory", "error control: theory, emgard or planes")
+	model := fs.String("model", "", "trained E-MGARD model (for -control emgard)")
+	planesArg := fs.String("planes", "", "comma-separated per-level plane counts (for -control planes)")
+	orig := fs.String("orig", "", "original field file, to report the achieved error")
+	out := fs.String("out", "", "write the reconstruction to this field file")
+	fs.Parse(args)
+	if *in == "" && *tiered == "" {
+		return fmt.Errorf("retrieve: -in or -tiered is required")
+	}
+	var h *core.Header
+	var src core.SegmentSource
+	var flatStore *storage.Store
+	var tieredStore *storage.TieredStore
+	if *tiered != "" {
+		var err error
+		h, tieredStore, err = core.OpenTiered(*tiered)
+		if err != nil {
+			return err
+		}
+		defer tieredStore.Close()
+		src = core.TieredSource{Store: tieredStore}
+	} else {
+		var err error
+		h, flatStore, err = core.OpenFile(*in)
+		if err != nil {
+			return err
+		}
+		defer flatStore.Close()
+		src = core.StoreSource{Store: flatStore}
+	}
+
+	tol := *abs
+	if tol == 0 && *control != "planes" {
+		if *rel == 0 {
+			return fmt.Errorf("retrieve: need -rel or -abs (unless -control planes)")
+		}
+		tol = h.AbsTolerance(*rel)
+	}
+
+	var rec *grid.Tensor
+	var plan retrieval.Plan
+	var err error
+	switch *control {
+	case "theory":
+		rec, plan, err = core.RetrieveTolerance(h, src, h.TheoryEstimator(), tol)
+	case "emgard":
+		if *model == "" {
+			return fmt.Errorf("retrieve: -control emgard requires -model")
+		}
+		var m *emgard.Model
+		m, err = emgard.Load(*model)
+		if err != nil {
+			return err
+		}
+		var est retrieval.PerLevelEstimator
+		est, err = m.Estimator(h.LevelPools)
+		if err != nil {
+			return err
+		}
+		rec, plan, err = core.RetrieveTolerance(h, src, est, tol)
+	case "planes":
+		if *planesArg == "" {
+			return fmt.Errorf("retrieve: -control planes requires -planes")
+		}
+		var planes []int
+		for _, s := range strings.Split(*planesArg, ",") {
+			v, perr := strconv.Atoi(strings.TrimSpace(s))
+			if perr != nil {
+				return fmt.Errorf("retrieve: bad plane count %q", s)
+			}
+			planes = append(planes, v)
+		}
+		rec, plan, err = core.RetrievePlanes(h, src, planes)
+	default:
+		return fmt.Errorf("retrieve: unknown control %q", *control)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("plan: planes per level %v\n", plan.Planes)
+	if flatStore != nil {
+		fmt.Printf("retrieved %d of %d stored bytes (%.1f%%) in %d ranged reads\n",
+			flatStore.BytesRead(), h.TotalBytes(),
+			100*float64(flatStore.BytesRead())/float64(h.TotalBytes()), flatStore.Requests())
+	} else {
+		var total int64
+		for tier, b := range tieredStore.TierBytes() {
+			fmt.Printf("tier %-6s %8d bytes in %d reads\n", tier, b, tieredStore.TierRequests()[tier])
+			total += b
+		}
+		fmt.Printf("retrieved %d of %d stored bytes (%.1f%%)\n", total, h.TotalBytes(),
+			100*float64(total)/float64(h.TotalBytes()))
+	}
+
+	hier, err := storage.DefaultHierarchy(len(h.Levels))
+	if err == nil {
+		// A plane prefix is contiguous in the store layout, so each level
+		// costs one ranged read.
+		reqs := make([]int, len(plan.Planes))
+		for l, b := range plan.Planes {
+			if b > 0 {
+				reqs[l] = 1
+			}
+		}
+		if tm, terr := hier.PlanTime(plan.BytesPerLevel, reqs); terr == nil {
+			fmt.Printf("modeled I/O time on default hierarchy: %.4g s\n", tm)
+		}
+	}
+	if *orig != "" {
+		_, origField, err := fieldio.Read(*orig)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("achieved max abs error: %.6e (requested %.6e)\n",
+			grid.MaxAbsDiff(origField, rec), tol)
+		fmt.Printf("PSNR: %.2f dB\n", grid.PSNR(origField, rec))
+	}
+	if *out != "" {
+		if err := fieldio.Write(*out, fieldio.Meta{Field: h.FieldName, Timestep: h.Timestep}, rec); err != nil {
+			return err
+		}
+		fmt.Printf("wrote reconstruction to %s\n", *out)
+	}
+	return nil
+}

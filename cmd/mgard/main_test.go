@@ -1,0 +1,101 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pmgard/internal/fieldio"
+	"pmgard/internal/sim/warpx"
+)
+
+// writeTestField produces a small field file for the CLI tests.
+func writeTestField(t *testing.T, dir string) string {
+	t.Helper()
+	f, err := warpx.DefaultConfig(9, 9, 9).Field("Jx", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "jx.field")
+	if err := fieldio.Write(path, fieldio.Meta{Field: "Jx", Timestep: 3}, f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompressInspectRetrieveFlow(t *testing.T) {
+	dir := t.TempDir()
+	field := writeTestField(t, dir)
+	pmgd := filepath.Join(dir, "jx.pmgd")
+
+	if err := cmdCompress([]string{"-in", field, "-out", pmgd}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdInspect([]string{"-in", pmgd}); err != nil {
+		t.Fatal(err)
+	}
+	recon := filepath.Join(dir, "recon.field")
+	if err := cmdRetrieve([]string{
+		"-in", pmgd, "-rel", "1e-3", "-orig", field, "-out", recon,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fieldio.Read(recon); err != nil {
+		t.Fatalf("reconstruction unreadable: %v", err)
+	}
+}
+
+func TestTieredFlow(t *testing.T) {
+	dir := t.TempDir()
+	field := writeTestField(t, dir)
+	store := filepath.Join(dir, "tiered")
+	if err := cmdCompress([]string{"-in", field, "-tiered", store}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRetrieve([]string{"-tiered", store, "-rel", "1e-3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetrieveWithExplicitPlanes(t *testing.T) {
+	dir := t.TempDir()
+	field := writeTestField(t, dir)
+	pmgd := filepath.Join(dir, "jx.pmgd")
+	if err := cmdCompress([]string{"-in", field, "-out", pmgd}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRetrieve([]string{
+		"-in", pmgd, "-control", "planes", "-planes", "8,8,8,8,8",
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIValidation(t *testing.T) {
+	if err := cmdCompress([]string{}); err == nil {
+		t.Error("compress without args accepted")
+	}
+	if err := cmdInspect([]string{}); err == nil {
+		t.Error("inspect without args accepted")
+	}
+	if err := cmdRetrieve([]string{}); err == nil {
+		t.Error("retrieve without args accepted")
+	}
+	dir := t.TempDir()
+	field := writeTestField(t, dir)
+	pmgd := filepath.Join(dir, "jx.pmgd")
+	if err := cmdCompress([]string{"-in", field, "-out", pmgd}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRetrieve([]string{"-in", pmgd}); err == nil {
+		t.Error("retrieve without tolerance accepted")
+	}
+	if err := cmdRetrieve([]string{"-in", pmgd, "-rel", "1e-3", "-control", "bogus"}); err == nil {
+		t.Error("unknown control accepted")
+	}
+	if err := cmdRetrieve([]string{"-in", pmgd, "-rel", "1e-3", "-control", "emgard"}); err == nil {
+		t.Error("emgard control without model accepted")
+	}
+	if err := cmdRetrieve([]string{"-in", pmgd, "-control", "planes", "-planes", "a,b"}); err == nil {
+		t.Error("malformed plane list accepted")
+	}
+}

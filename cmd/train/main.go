@@ -1,0 +1,136 @@
+// Command train performs the offline training stage of the DNN-based
+// progressive retrieval framework: it sweeps compression experiments over
+// field files, harvests training records, and fits either the D-MGARD
+// plane-count predictor or the E-MGARD error-constant model.
+//
+// Usage:
+//
+//	train -mode dmgard -fields 'data/warpx_Jx_*.field' -out dmgard.gob
+//	train -mode emgard -fields 'data/warpx_Jx_*.field' -out emgard.gob
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"pmgard/internal/core"
+	"pmgard/internal/dmgard"
+	"pmgard/internal/emgard"
+	"pmgard/internal/fieldio"
+)
+
+func main() {
+	var (
+		mode    = flag.String("mode", "dmgard", "model to train: dmgard or emgard")
+		fields  = flag.String("fields", "", "glob of input field files")
+		out     = flag.String("out", "", "output model file")
+		epochs  = flag.Int("epochs", 0, "training epochs (0 = model default)")
+		lr      = flag.Float64("lr", 0, "learning rate (0 = model default)")
+		seed    = flag.Int64("seed", 1, "training seed")
+		quiet   = flag.Bool("q", false, "suppress per-file progress")
+		boundsN = flag.Int("bounds", 81, "number of relative error bounds in the sweep (≤81)")
+	)
+	flag.Parse()
+	if err := run(*mode, *fields, *out, *epochs, *lr, *seed, *quiet, *boundsN); err != nil {
+		fmt.Fprintln(os.Stderr, "train:", err)
+		os.Exit(1)
+	}
+}
+
+func run(mode, fieldsGlob, out string, epochs int, lr float64, seed int64, quiet bool, boundsN int) error {
+	if fieldsGlob == "" || out == "" {
+		return fmt.Errorf("-fields and -out are required")
+	}
+	paths, err := filepath.Glob(fieldsGlob)
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no files match %q", fieldsGlob)
+	}
+	sort.Strings(paths)
+	bounds := dmgard.DefaultRelBounds()
+	if boundsN > 0 && boundsN < len(bounds) {
+		thinned := make([]float64, 0, boundsN)
+		for i := 0; i < boundsN; i++ {
+			thinned = append(thinned, bounds[i*(len(bounds)-1)/(boundsN-1)])
+		}
+		bounds = thinned
+	}
+	cfg := core.DefaultConfig()
+
+	switch mode {
+	case "dmgard":
+		var records []dmgard.Record
+		for _, p := range paths {
+			meta, field, err := fieldio.Read(p)
+			if err != nil {
+				return err
+			}
+			recs, _, err := dmgard.Harvest(field, meta.Field, meta.Timestep, cfg, bounds)
+			if err != nil {
+				return fmt.Errorf("%s: %w", p, err)
+			}
+			records = append(records, recs...)
+			if !quiet {
+				fmt.Printf("harvested %s: %d records (total %d)\n", p, len(recs), len(records))
+			}
+		}
+		tc := dmgard.DefaultConfig()
+		tc.Seed = seed
+		if epochs > 0 {
+			tc.Epochs = epochs
+		}
+		if lr > 0 {
+			tc.LR = lr
+		}
+		fmt.Printf("training D-MGARD on %d records (%d epochs, lr %g)...\n", len(records), tc.Epochs, tc.LR)
+		m, err := dmgard.Train(records, cfg.Planes, tc)
+		if err != nil {
+			return err
+		}
+		if err := m.Save(out); err != nil {
+			return err
+		}
+		fmt.Printf("saved D-MGARD model (%d levels) to %s\n", m.Levels(), out)
+	case "emgard":
+		var samples []emgard.Sample
+		for _, p := range paths {
+			meta, field, err := fieldio.Read(p)
+			if err != nil {
+				return err
+			}
+			ss, _, err := emgard.Harvest(field, meta.Field, meta.Timestep, cfg, bounds)
+			if err != nil {
+				return fmt.Errorf("%s: %w", p, err)
+			}
+			samples = append(samples, ss...)
+			if !quiet {
+				fmt.Printf("harvested %s: %d samples (total %d)\n", p, len(ss), len(samples))
+			}
+		}
+		tc := emgard.DefaultConfig()
+		tc.Seed = seed
+		if epochs > 0 {
+			tc.Epochs = epochs
+		}
+		if lr > 0 {
+			tc.LR = lr
+		}
+		fmt.Printf("training E-MGARD on %d samples (%d epochs, lr %g)...\n", len(samples), tc.Epochs, tc.LR)
+		m, err := emgard.Train(samples, tc)
+		if err != nil {
+			return err
+		}
+		if err := m.Save(out); err != nil {
+			return err
+		}
+		fmt.Printf("saved E-MGARD model (%d levels) to %s\n", m.Levels(), out)
+	default:
+		return fmt.Errorf("unknown mode %q (have dmgard, emgard)", mode)
+	}
+	return nil
+}

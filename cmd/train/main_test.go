@@ -1,0 +1,77 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pmgard/internal/dmgard"
+	"pmgard/internal/emgard"
+	"pmgard/internal/fieldio"
+	"pmgard/internal/sim/warpx"
+)
+
+func writeFields(t *testing.T, dir string, steps int) string {
+	t.Helper()
+	cfg := warpx.DefaultConfig(9, 9, 9)
+	for ts := 0; ts < steps; ts++ {
+		f, err := cfg.Field("Jx", ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, filepathBase(ts))
+		if err := fieldio.Write(path, fieldio.Meta{Field: "Jx", Timestep: ts}, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return filepath.Join(dir, "warpx_Jx_t*.field")
+}
+
+func filepathBase(ts int) string {
+	return "warpx_Jx_t000" + string(rune('0'+ts)) + ".field"
+}
+
+func TestTrainDMGARDFromFiles(t *testing.T) {
+	dir := t.TempDir()
+	glob := writeFields(t, dir, 3)
+	out := filepath.Join(dir, "d.gob")
+	if err := run("dmgard", glob, out, 5, 5e-3, 1, true, 6); err != nil {
+		t.Fatal(err)
+	}
+	m, err := dmgard.Load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Levels() != 5 {
+		t.Fatalf("model has %d levels", m.Levels())
+	}
+}
+
+func TestTrainEMGARDFromFiles(t *testing.T) {
+	dir := t.TempDir()
+	glob := writeFields(t, dir, 3)
+	out := filepath.Join(dir, "e.gob")
+	if err := run("emgard", glob, out, 5, 5e-3, 1, true, 6); err != nil {
+		t.Fatal(err)
+	}
+	m, err := emgard.Load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Levels() != 5 {
+		t.Fatalf("model has %d levels", m.Levels())
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if err := run("dmgard", "", "out.gob", 1, 0, 1, true, 5); err == nil {
+		t.Error("empty glob accepted")
+	}
+	if err := run("dmgard", "/nonexistent/*.field", "out.gob", 1, 0, 1, true, 5); err == nil {
+		t.Error("matchless glob accepted")
+	}
+	dir := t.TempDir()
+	glob := writeFields(t, dir, 1)
+	if err := run("nope", glob, filepath.Join(dir, "x.gob"), 1, 0, 1, true, 5); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}

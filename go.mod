@@ -1,0 +1,3 @@
+module pmgard
+
+go 1.22

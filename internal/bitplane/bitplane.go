@@ -1,0 +1,242 @@
+// Package bitplane implements the nega-binary bit-plane encoding of
+// coefficient levels used by MGARD's progressive retrieval (§II-B).
+//
+// Each coefficient level is quantized against its own magnitude exponent and
+// the quantized integers are written in base -2 (nega-binary), which encodes
+// negative values without a separate sign plane and makes truncation errors
+// alternate in sign. The encoding is then sliced into B bit-planes, most
+// significant first; retrieving the first b planes and zeroing the rest
+// yields a progressively refined approximation of the level.
+//
+// Alongside the planes, the encoder collects the error matrix
+// Err[b] = max_i |c_i - decode_b(c_i)| for b = 0..B — the exact quantity
+// MGARD's error estimator consumes to decide how many planes to fetch.
+package bitplane
+
+import (
+	"fmt"
+	"math"
+)
+
+// negaMask is the alternating-bit mask used by the nega-binary conversion
+// identity: nb = (v + negaMask) ^ negaMask and v = (nb ^ negaMask) - negaMask.
+const negaMask uint64 = 0xAAAAAAAAAAAAAAAA
+
+// EncodeNegabinary converts a two's-complement integer to its nega-binary
+// (base -2) representation.
+func EncodeNegabinary(v int64) uint64 {
+	return (uint64(v) + negaMask) ^ negaMask
+}
+
+// DecodeNegabinary converts a nega-binary representation back to a
+// two's-complement integer.
+func DecodeNegabinary(nb uint64) int64 {
+	return int64((nb ^ negaMask) - negaMask)
+}
+
+// Mode selects the bit-plane representation.
+type Mode int
+
+const (
+	// Negabinary is MGARD's base -2 encoding (the default): no separate
+	// sign plane, truncation errors alternate in sign.
+	Negabinary Mode = iota
+	// SignMagnitude uses one sign plane followed by magnitude planes MSB
+	// first — the conventional alternative, used by the encoding ablation.
+	SignMagnitude
+)
+
+// LevelEncoding is the bit-plane encoding of one coefficient level.
+type LevelEncoding struct {
+	// N is the number of coefficients on the level.
+	N int
+	// Planes is the number of bit-planes B.
+	Planes int
+	// Exponent is the power-of-two alignment exponent E: every
+	// coefficient magnitude is at most 2^Exponent.
+	Exponent int
+	// Bits[k] is the k-th bit-plane (k = 0 is the most significant),
+	// packed 8 coefficients per byte, LSB-first within a byte.
+	Bits [][]byte
+	// ErrMatrix[b] is the maximum absolute coefficient error when only the
+	// first b planes are retrieved (ErrMatrix[0] is the error of reading
+	// nothing; ErrMatrix[Planes] is the residual quantization error).
+	ErrMatrix []float64
+	// Mode is the plane representation.
+	Mode Mode
+}
+
+// EncodeLevel encodes coeffs into planes nega-binary bit-planes. planes
+// must be in [1, 60]; 32 reproduces the paper's configuration.
+func EncodeLevel(coeffs []float64, planes int) (*LevelEncoding, error) {
+	return EncodeLevelMode(coeffs, planes, Negabinary)
+}
+
+// EncodeLevelMode encodes coeffs under the chosen plane representation.
+func EncodeLevelMode(coeffs []float64, planes int, mode Mode) (*LevelEncoding, error) {
+	if planes < 1 || planes > 60 {
+		return nil, fmt.Errorf("bitplane: planes %d out of range [1,60]", planes)
+	}
+	if mode != Negabinary && mode != SignMagnitude {
+		return nil, fmt.Errorf("bitplane: unknown mode %d", mode)
+	}
+	n := len(coeffs)
+	enc := &LevelEncoding{
+		N:         n,
+		Planes:    planes,
+		Bits:      make([][]byte, planes),
+		ErrMatrix: make([]float64, planes+1),
+		Mode:      mode,
+	}
+	planeBytes := (n + 7) / 8
+	for k := range enc.Bits {
+		enc.Bits[k] = make([]byte, planeBytes)
+	}
+
+	maxAbs := 0.0
+	for _, c := range coeffs {
+		if a := math.Abs(c); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 || n == 0 {
+		// All-zero level: planes stay zero, errors stay zero. Exponent is
+		// arbitrary; use a sentinel that dequantizes to zero regardless.
+		enc.Exponent = math.MinInt16
+		return enc, nil
+	}
+	// Smallest E with maxAbs ≤ 2^E.
+	enc.Exponent = int(math.Ceil(math.Log2(maxAbs)))
+	if math.Pow(2, float64(enc.Exponent)) < maxAbs {
+		enc.Exponent++ // guard against log2 rounding
+	}
+
+	// Quantize to at most 2^(B-2) so the nega-binary representation fits
+	// in B digits.
+	unit := math.Ldexp(1, enc.Exponent-(planes-2))
+	limit := int64(1) << uint(planes-2)
+
+	words := make([]uint64, n)
+	for i, c := range coeffs {
+		q := int64(math.Round(c / unit))
+		if q > limit {
+			q = limit
+		} else if q < -limit {
+			q = -limit
+		}
+		words[i] = encodeWord(q, planes, mode)
+	}
+
+	// Slice into planes, MSB first (plane 0 is the sign plane in
+	// sign-magnitude mode).
+	for i, w := range words {
+		byteIx, bitIx := i>>3, uint(i&7)
+		for k := 0; k < planes; k++ {
+			if w>>(uint(planes-1-k))&1 == 1 {
+				enc.Bits[k][byteIx] |= 1 << bitIx
+			}
+		}
+	}
+
+	// Collect the error matrix: for each prefix length b, the max abs
+	// difference between the original coefficient and the value decoded
+	// from the first b planes.
+	for b := 0; b <= planes; b++ {
+		var mask uint64
+		if b > 0 {
+			mask = ((uint64(1) << uint(b)) - 1) << uint(planes-b)
+		}
+		maxErr := 0.0
+		for i, w := range words {
+			dec := float64(decodeWord(w&mask, planes, mode)) * unit
+			if e := math.Abs(coeffs[i] - dec); e > maxErr {
+				maxErr = e
+			}
+		}
+		enc.ErrMatrix[b] = maxErr
+	}
+	return enc, nil
+}
+
+// encodeWord packs a quantized coefficient into a plane word under the
+// given mode. In sign-magnitude mode the top bit is the sign and the
+// remaining planes-1 bits hold |q| (clamped to fit).
+func encodeWord(q int64, planes int, mode Mode) uint64 {
+	if mode == Negabinary {
+		return EncodeNegabinary(q)
+	}
+	magBits := uint(planes - 1)
+	var sign uint64
+	mag := q
+	if q < 0 {
+		sign = 1
+		mag = -q
+	}
+	maxMag := int64(1)<<magBits - 1
+	if mag > maxMag {
+		mag = maxMag
+	}
+	return sign<<magBits | uint64(mag)
+}
+
+// decodeWord reverses encodeWord on a (possibly truncated) word.
+func decodeWord(w uint64, planes int, mode Mode) int64 {
+	if mode == Negabinary {
+		return DecodeNegabinary(w)
+	}
+	magBits := uint(planes - 1)
+	mag := int64(w & (uint64(1)<<magBits - 1))
+	if w>>magBits&1 == 1 {
+		return -mag
+	}
+	return mag
+}
+
+// unitSize returns the dequantization unit, or 0 for an all-zero level.
+func (e *LevelEncoding) unitSize() float64 {
+	if e.Exponent == math.MinInt16 {
+		return 0
+	}
+	return math.Ldexp(1, e.Exponent-(e.Planes-2))
+}
+
+// DecodePartial reconstructs the level coefficients from the first b planes
+// into dst (allocated if nil) and returns it. b must be in [0, Planes].
+func (e *LevelEncoding) DecodePartial(b int, dst []float64) []float64 {
+	if b < 0 || b > e.Planes {
+		panic(fmt.Sprintf("bitplane: DecodePartial b=%d out of range [0,%d]", b, e.Planes))
+	}
+	if dst == nil {
+		dst = make([]float64, e.N)
+	}
+	if len(dst) != e.N {
+		panic(fmt.Sprintf("bitplane: DecodePartial dst length %d, want %d", len(dst), e.N))
+	}
+	unit := e.unitSize()
+	if unit == 0 || b == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
+	}
+	for i := 0; i < e.N; i++ {
+		byteIx, bitIx := i>>3, uint(i&7)
+		var w uint64
+		for k := 0; k < b; k++ {
+			if e.Bits[k][byteIx]>>bitIx&1 == 1 {
+				w |= 1 << uint(e.Planes-1-k)
+			}
+		}
+		dst[i] = float64(decodeWord(w, e.Planes, e.Mode)) * unit
+	}
+	return dst
+}
+
+// Decode reconstructs the level from all planes (residual quantization
+// error remains).
+func (e *LevelEncoding) Decode(dst []float64) []float64 {
+	return e.DecodePartial(e.Planes, dst)
+}
+
+// PlaneSizeRaw returns the uncompressed size in bytes of one bit-plane.
+func (e *LevelEncoding) PlaneSizeRaw() int { return (e.N + 7) / 8 }

@@ -1,0 +1,480 @@
+// Package core is the public face of the progressive retrieval framework
+// (Fig. 4 of the paper). It wires together the substrates:
+//
+//	decompose  → multilevel coefficients
+//	bitplane   → nega-binary planes + error matrix
+//	lossless   → per-plane compressed segments
+//	storage    → tiered, ranged-read segment files
+//	retrieval  → error-controlled plane selection
+//
+// and exposes three retrieval modes: the original theory-based error
+// control, D-MGARD plane-count prediction, and E-MGARD learned per-level
+// error estimation (the latter two live in internal/dmgard and
+// internal/emgard and plug in through the retrieval.ErrorEstimator and
+// fixed-plane interfaces defined here).
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"pmgard/internal/bitplane"
+	"pmgard/internal/decompose"
+	"pmgard/internal/features"
+	"pmgard/internal/grid"
+	"pmgard/internal/lossless"
+	"pmgard/internal/retrieval"
+	"pmgard/internal/storage"
+)
+
+// Config configures compression.
+type Config struct {
+	// Decompose controls the multilevel transform.
+	Decompose decompose.Options
+	// Planes is the number of bit-planes per coefficient level (the paper
+	// uses 32).
+	Planes int
+	// Codec is the lossless stage; nil means DEFLATE.
+	Codec lossless.Codec
+	// PoolSize is the length of the per-level pooled coefficient summary
+	// stored in the header for E-MGARD's encoder input (§III-D). 0 uses
+	// the default of 64.
+	PoolSize int
+}
+
+// DefaultConfig mirrors the paper's setup: a five-level hierarchy with 32
+// bit-planes per level and lossless coding of each plane.
+func DefaultConfig() Config {
+	return Config{
+		Decompose: decompose.DefaultOptions(),
+		Planes:    32,
+		Codec:     lossless.Deflate(),
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Codec == nil {
+		c.Codec = lossless.Deflate()
+	}
+	if c.Planes == 0 {
+		c.Planes = 32
+	}
+	if c.PoolSize == 0 {
+		c.PoolSize = 64
+	}
+	return c
+}
+
+// LevelMeta is the retained per-level metadata: everything the retriever
+// needs without touching the payload segments.
+type LevelMeta struct {
+	// N is the number of coefficients on the level.
+	N int
+	// Exponent is the bit-plane alignment exponent.
+	Exponent int
+	// ErrMatrix[b] is the max abs coefficient error with b planes.
+	ErrMatrix []float64
+	// PlaneSizes[k] is the compressed size of plane k in bytes.
+	PlaneSizes []int64
+	// RawPlaneSize is the uncompressed size of each plane in bytes.
+	RawPlaneSize int
+}
+
+// Header is the compression metadata written alongside the segments.
+type Header struct {
+	// FieldName labels the variable ("Jx", "Du", ...).
+	FieldName string
+	// Timestep is the simulation output step the field came from.
+	Timestep int
+	// Dims are the grid dimensions.
+	Dims []int
+	// Levels is the per-level metadata, coarsest first.
+	Levels []LevelMeta
+	// Planes is the bit-plane count per level.
+	Planes int
+	// CodecName names the lossless codec.
+	CodecName string
+	// DecomposeLevels, Update and UpdateWeight echo the transform options.
+	DecomposeLevels int
+	Update          bool
+	UpdateWeight    float64
+	// ValueRange is max-min of the original field, used to convert
+	// relative error bounds to absolute tolerances.
+	ValueRange float64
+	// LevelPools[l] is a fixed-size pooled summary of level l's
+	// coefficient magnitudes, recorded at compression time so E-MGARD can
+	// predict per-level mapping constants without fetching any payload.
+	LevelPools [][]float64
+}
+
+// DecomposeOptions reconstructs the transform options from the header.
+func (h *Header) DecomposeOptions() decompose.Options {
+	return decompose.Options{
+		Levels:       h.DecomposeLevels,
+		Update:       h.Update,
+		UpdateWeight: h.UpdateWeight,
+	}
+}
+
+// LevelInfos adapts the header for the retrieval planner.
+func (h *Header) LevelInfos() []retrieval.LevelInfo {
+	infos := make([]retrieval.LevelInfo, len(h.Levels))
+	for l, lm := range h.Levels {
+		infos[l] = retrieval.LevelInfo{ErrMatrix: lm.ErrMatrix, PlaneSizes: lm.PlaneSizes}
+	}
+	return infos
+}
+
+// TheoryEstimator returns the original MGARD error estimator (Eq. 6): the
+// absolute-row-sum bound with the naive compounded mesh constant of the
+// early error-control theory [19]. Its pessimism — achieved errors orders
+// of magnitude below the requested bound — is the overhead the paper's
+// models remove.
+func (h *Header) TheoryEstimator() retrieval.TheoryEstimator {
+	return retrieval.TheoryEstimator{
+		C: h.DecomposeOptions().NaiveErrorAmplification(len(h.Dims)),
+	}
+}
+
+// TightEstimator returns the sharper analytical bound (per-level
+// amplification without cross-step compounding) — still a true bound, used
+// by the constant ablation to separate "better constant" gains from
+// "learned per-level constants" gains.
+func (h *Header) TightEstimator() retrieval.TheoryEstimator {
+	return retrieval.TheoryEstimator{
+		C: h.DecomposeOptions().ErrorAmplification(len(h.Dims)),
+	}
+}
+
+// AbsTolerance converts a relative error bound to an absolute tolerance
+// using the recorded value range, the convention of the paper's evaluation
+// (§IV-A3).
+func (h *Header) AbsTolerance(relBound float64) float64 {
+	return relBound * h.ValueRange
+}
+
+// TotalBytes returns the total stored payload size across all levels and
+// planes.
+func (h *Header) TotalBytes() int64 {
+	var total int64
+	for _, lm := range h.Levels {
+		for _, s := range lm.PlaneSizes {
+			total += s
+		}
+	}
+	return total
+}
+
+// Compressed is an in-memory compressed field: header plus the compressed
+// plane segments.
+type Compressed struct {
+	Header Header
+	// segments[l][k] is the compressed payload of plane k of level l.
+	segments [][][]byte
+}
+
+// Compress runs the full compression pipeline on a field.
+func Compress(t *grid.Tensor, cfg Config, fieldName string, timestep int) (*Compressed, error) {
+	cfg = cfg.withDefaults()
+	dec, err := decompose.Decompose(t, cfg.Decompose)
+	if err != nil {
+		return nil, fmt.Errorf("core: decompose: %w", err)
+	}
+	h := Header{
+		FieldName:       fieldName,
+		Timestep:        timestep,
+		Dims:            append([]int(nil), t.Dims()...),
+		Planes:          cfg.Planes,
+		CodecName:       cfg.Codec.Name(),
+		DecomposeLevels: cfg.Decompose.Levels,
+		Update:          cfg.Decompose.Update,
+		UpdateWeight:    cfg.Decompose.UpdateWeight,
+		ValueRange:      t.Range(),
+	}
+	for l := 0; l < dec.Levels(); l++ {
+		h.LevelPools = append(h.LevelPools, features.PoolLevel(dec.Coeffs(l), cfg.PoolSize))
+	}
+	c := &Compressed{segments: make([][][]byte, dec.Levels())}
+	for l := 0; l < dec.Levels(); l++ {
+		enc, err := bitplane.EncodeLevel(dec.Coeffs(l), cfg.Planes)
+		if err != nil {
+			return nil, fmt.Errorf("core: encode level %d: %w", l, err)
+		}
+		lm := LevelMeta{
+			N:            enc.N,
+			Exponent:     enc.Exponent,
+			ErrMatrix:    enc.ErrMatrix,
+			PlaneSizes:   make([]int64, cfg.Planes),
+			RawPlaneSize: enc.PlaneSizeRaw(),
+		}
+		c.segments[l] = make([][]byte, cfg.Planes)
+		for k := 0; k < cfg.Planes; k++ {
+			seg, err := cfg.Codec.Compress(enc.Bits[k])
+			if err != nil {
+				return nil, fmt.Errorf("core: compress level %d plane %d: %w", l, k, err)
+			}
+			c.segments[l][k] = seg
+			lm.PlaneSizes[k] = int64(len(seg))
+		}
+		h.Levels = append(h.Levels, lm)
+	}
+	c.Header = h
+	return c, nil
+}
+
+// SegmentSource yields compressed plane payloads during retrieval. Both the
+// in-memory Compressed and the file-backed StoreSource implement it.
+type SegmentSource interface {
+	// Segment returns the compressed payload of plane k of level l.
+	Segment(level, plane int) ([]byte, error)
+}
+
+// Segment implements SegmentSource for in-memory compressed data.
+func (c *Compressed) Segment(level, plane int) ([]byte, error) {
+	if level < 0 || level >= len(c.segments) {
+		return nil, fmt.Errorf("core: level %d out of range", level)
+	}
+	if plane < 0 || plane >= len(c.segments[level]) {
+		return nil, fmt.Errorf("core: plane %d out of range on level %d", plane, level)
+	}
+	return c.segments[level][plane], nil
+}
+
+// WriteFile persists the compressed field as a segment-store file.
+func (c *Compressed) WriteFile(path string) error {
+	meta, err := json.Marshal(&c.Header)
+	if err != nil {
+		return fmt.Errorf("core: marshal header: %w", err)
+	}
+	w, err := storage.Create(path, meta)
+	if err != nil {
+		return err
+	}
+	for l := range c.segments {
+		for k, seg := range c.segments[l] {
+			if err := w.WriteSegment(storage.SegmentID{Level: l, Plane: k}, seg); err != nil {
+				w.Close()
+				return err
+			}
+		}
+	}
+	return w.Close()
+}
+
+// StoreSource adapts a storage.Store as a SegmentSource with exact I/O
+// accounting.
+type StoreSource struct {
+	Store *storage.Store
+}
+
+// Segment implements SegmentSource.
+func (s StoreSource) Segment(level, plane int) ([]byte, error) {
+	return s.Store.ReadSegment(storage.SegmentID{Level: level, Plane: plane})
+}
+
+// OpenFile opens a compressed field file and parses its header.
+func OpenFile(path string) (*Header, *storage.Store, error) {
+	st, err := storage.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var h Header
+	if err := json.Unmarshal(st.Meta(), &h); err != nil {
+		st.Close()
+		return nil, nil, fmt.Errorf("core: parse header: %w", err)
+	}
+	return &h, st, nil
+}
+
+// Retrieve fetches the planes named by plan from src, decodes them and
+// recomposes the approximate field.
+func Retrieve(h *Header, src SegmentSource, plan retrieval.Plan) (*grid.Tensor, error) {
+	if len(plan.Planes) != len(h.Levels) {
+		return nil, fmt.Errorf("core: plan has %d levels, header %d", len(plan.Planes), len(h.Levels))
+	}
+	codec, err := lossless.ByName(h.CodecName)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := decompose.NewZero(h.Dims, h.DecomposeOptions())
+	if err != nil {
+		return nil, err
+	}
+	for l, lm := range h.Levels {
+		b := plan.Planes[l]
+		if b < 0 || b > h.Planes {
+			return nil, fmt.Errorf("core: level %d plane count %d out of range", l, b)
+		}
+		enc := &bitplane.LevelEncoding{
+			N:        lm.N,
+			Planes:   h.Planes,
+			Exponent: lm.Exponent,
+			Bits:     make([][]byte, h.Planes),
+		}
+		for k := 0; k < b; k++ {
+			seg, err := src.Segment(l, k)
+			if err != nil {
+				return nil, err
+			}
+			raw, err := codec.Decompress(seg, lm.RawPlaneSize)
+			if err != nil {
+				return nil, fmt.Errorf("core: level %d plane %d: %w", l, k, err)
+			}
+			enc.Bits[k] = raw
+		}
+		enc.DecodePartial(b, dec.Coeffs(l))
+	}
+	return dec.Recompose(), nil
+}
+
+// RetrieveTolerance plans with the given estimator at an absolute tolerance
+// and retrieves. It returns the reconstruction and the executed plan.
+func RetrieveTolerance(h *Header, src SegmentSource, est retrieval.ErrorEstimator, tol float64) (*grid.Tensor, retrieval.Plan, error) {
+	plan, err := retrieval.GreedyPlan(h.LevelInfos(), est, tol)
+	if err != nil {
+		return nil, retrieval.Plan{}, err
+	}
+	rec, err := Retrieve(h, src, plan)
+	return rec, plan, err
+}
+
+// RetrievePlanes retrieves with an externally supplied per-level plane
+// assignment — the D-MGARD integration point.
+func RetrievePlanes(h *Header, src SegmentSource, planes []int) (*grid.Tensor, retrieval.Plan, error) {
+	plan, err := retrieval.PlanForPlanes(h.LevelInfos(), planes)
+	if err != nil {
+		return nil, retrieval.Plan{}, err
+	}
+	rec, err := Retrieve(h, src, plan)
+	return rec, plan, err
+}
+
+// RetrieveResolution fetches only coefficient levels 0..upTo and
+// reconstructs the approximation on the coarser grid those levels span —
+// the reduced-degrees-of-freedom mode where an analysis skips both the I/O
+// and the compute of the finer levels. planes must assign 0 planes to every
+// level above upTo.
+func RetrieveResolution(h *Header, src SegmentSource, planes []int, upTo int) (*grid.Tensor, retrieval.Plan, error) {
+	if upTo < 0 || upTo >= len(h.Levels) {
+		return nil, retrieval.Plan{}, fmt.Errorf("core: upTo %d out of [0,%d)", upTo, len(h.Levels))
+	}
+	for l := upTo + 1; l < len(planes); l++ {
+		if planes[l] != 0 {
+			return nil, retrieval.Plan{}, fmt.Errorf("core: level %d above resolution cut must have 0 planes", l)
+		}
+	}
+	plan, err := retrieval.PlanForPlanes(h.LevelInfos(), planes)
+	if err != nil {
+		return nil, retrieval.Plan{}, err
+	}
+	codec, err := lossless.ByName(h.CodecName)
+	if err != nil {
+		return nil, retrieval.Plan{}, err
+	}
+	dec, err := decompose.NewZero(h.Dims, h.DecomposeOptions())
+	if err != nil {
+		return nil, retrieval.Plan{}, err
+	}
+	for l := 0; l <= upTo; l++ {
+		lm := h.Levels[l]
+		b := plan.Planes[l]
+		enc := &bitplane.LevelEncoding{
+			N:        lm.N,
+			Planes:   h.Planes,
+			Exponent: lm.Exponent,
+			Bits:     make([][]byte, h.Planes),
+		}
+		for k := 0; k < b; k++ {
+			seg, err := src.Segment(l, k)
+			if err != nil {
+				return nil, retrieval.Plan{}, err
+			}
+			raw, err := codec.Decompress(seg, lm.RawPlaneSize)
+			if err != nil {
+				return nil, retrieval.Plan{}, fmt.Errorf("core: level %d plane %d: %w", l, k, err)
+			}
+			enc.Bits[k] = raw
+		}
+		enc.DecodePartial(b, dec.Coeffs(l))
+	}
+	coarse, err := dec.RecomposeLevel(upTo)
+	if err != nil {
+		return nil, retrieval.Plan{}, err
+	}
+	return coarse, plan, nil
+}
+
+// RetrieveHybrid combines the two models as the paper's future work
+// sketches (§IV-E): a D-MGARD plane prediction seeds the plan and an
+// (E-MGARD) error estimator verifies and refines it — extending when the
+// estimate misses the tolerance, shedding planes when it is comfortably
+// inside.
+func RetrieveHybrid(h *Header, src SegmentSource, seedPlanes []int, est retrieval.ErrorEstimator, tol float64) (*grid.Tensor, retrieval.Plan, error) {
+	// Extend-only (shrink slack 0): the learned estimator is calibrated on
+	// greedy-shaped plans, so estimates for shrunk plan shapes are
+	// unreliable and shedding planes re-introduces bound violations. The
+	// hybrid's job is to repair D-MGARD's under-predictions — the
+	// dangerous direction — not to squeeze bytes below E-MGARD.
+	plan, err := retrieval.RefinePlan(h.LevelInfos(), seedPlanes, est, tol, 0)
+	if err != nil {
+		return nil, retrieval.Plan{}, err
+	}
+	rec, err := Retrieve(h, src, plan)
+	return rec, plan, err
+}
+
+// CompressAll compresses several named fields concurrently — the write-side
+// pattern of a simulation dump, where every variable of a timestep is
+// compressed before the next step runs. workers ≤ 0 uses GOMAXPROCS.
+func CompressAll(fields map[string]*grid.Tensor, cfg Config, timestep int, workers int) (map[string]*Compressed, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type job struct {
+		name  string
+		field *grid.Tensor
+	}
+	type result struct {
+		name string
+		c    *Compressed
+		err  error
+	}
+	jobs := make(chan job)
+	results := make(chan result)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				c, err := Compress(j.field, cfg, j.name, timestep)
+				results <- result{name: j.name, c: c, err: err}
+			}
+		}()
+	}
+	go func() {
+		for name, field := range fields {
+			jobs <- job{name: name, field: field}
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+	out := make(map[string]*Compressed, len(fields))
+	var firstErr error
+	for r := range results {
+		if r.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("core: compress %s: %w", r.name, r.err)
+			continue
+		}
+		if r.err == nil {
+			out[r.name] = r.c
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+
+	"pmgard/internal/bitplane"
+	"pmgard/internal/decompose"
+	"pmgard/internal/grid"
+	"pmgard/internal/lossless"
+	"pmgard/internal/retrieval"
+)
+
+// Session is a stateful progressive retrieval: it remembers which planes
+// have already been fetched and, on each Refine call, reads only the delta
+// needed to reach the new (tighter) tolerance. This is the paper's core
+// usage pattern — an analyst starts with a coarse view and progressively
+// augments accuracy (§II-A) — and the reason bit-plane encodings are used
+// at all: earlier reads are never wasted.
+type Session struct {
+	header *Header
+	src    SegmentSource
+	codec  lossless.Codec
+	dec    *decompose.Decomposition
+	// fetched[l] is how many planes of level l have been read so far.
+	fetched []int
+	// planes[l][k] caches the decompressed plane bitsets.
+	planes [][][]byte
+	// bytes is the cumulative payload fetched.
+	bytes int64
+}
+
+// NewSession opens a progressive retrieval session over a compressed field.
+func NewSession(h *Header, src SegmentSource) (*Session, error) {
+	codec, err := lossless.ByName(h.CodecName)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := decompose.NewZero(h.Dims, h.DecomposeOptions())
+	if err != nil {
+		return nil, err
+	}
+	planes := make([][][]byte, len(h.Levels))
+	for l := range planes {
+		planes[l] = make([][]byte, h.Planes)
+	}
+	return &Session{
+		header:  h,
+		src:     src,
+		codec:   codec,
+		dec:     dec,
+		fetched: make([]int, len(h.Levels)),
+		planes:  planes,
+	}, nil
+}
+
+// Fetched returns the per-level plane counts read so far.
+func (s *Session) Fetched() []int {
+	return append([]int(nil), s.fetched...)
+}
+
+// BytesFetched returns the cumulative payload bytes read by this session.
+func (s *Session) BytesFetched() int64 { return s.bytes }
+
+// RefineTo extends the session to at least the given per-level plane
+// counts, fetching only planes not yet read, and returns the
+// reconstruction. Plane counts below what is already fetched are kept (a
+// session never un-reads data).
+func (s *Session) RefineTo(target []int) (*grid.Tensor, error) {
+	if len(target) != len(s.header.Levels) {
+		return nil, fmt.Errorf("core: session target has %d levels, header %d", len(target), len(s.header.Levels))
+	}
+	for l, want := range target {
+		if want < 0 || want > s.header.Planes {
+			return nil, fmt.Errorf("core: session target level %d plane count %d out of range", l, want)
+		}
+		for k := s.fetched[l]; k < want; k++ {
+			seg, err := s.src.Segment(l, k)
+			if err != nil {
+				return nil, err
+			}
+			raw, err := s.codec.Decompress(seg, s.header.Levels[l].RawPlaneSize)
+			if err != nil {
+				return nil, fmt.Errorf("core: session level %d plane %d: %w", l, k, err)
+			}
+			s.planes[l][k] = raw
+			s.bytes += s.header.Levels[l].PlaneSizes[k]
+		}
+		if want > s.fetched[l] {
+			s.fetched[l] = want
+		}
+	}
+	return s.reconstruct()
+}
+
+// Refine plans greedily under est at an absolute tolerance, never dropping
+// below the already-fetched planes, fetches the delta and reconstructs.
+// It returns the reconstruction and the plan actually executed.
+func (s *Session) Refine(est retrieval.ErrorEstimator, tol float64) (*grid.Tensor, retrieval.Plan, error) {
+	plan, err := retrieval.GreedyPlan(s.header.LevelInfos(), est, tol)
+	if err != nil {
+		return nil, retrieval.Plan{}, err
+	}
+	target := plan.Planes
+	for l, have := range s.fetched {
+		if have > target[l] {
+			target[l] = have
+		}
+	}
+	rec, err := s.RefineTo(target)
+	if err != nil {
+		return nil, retrieval.Plan{}, err
+	}
+	exec, err := retrieval.PlanForPlanes(s.header.LevelInfos(), target)
+	if err != nil {
+		return nil, retrieval.Plan{}, err
+	}
+	return rec, exec, nil
+}
+
+// reconstruct decodes the fetched planes and recomposes the field.
+func (s *Session) reconstruct() (*grid.Tensor, error) {
+	for l, lm := range s.header.Levels {
+		enc := &bitplane.LevelEncoding{
+			N:        lm.N,
+			Planes:   s.header.Planes,
+			Exponent: lm.Exponent,
+			Bits:     s.planes[l],
+		}
+		enc.DecodePartial(s.fetched[l], s.dec.Coeffs(l))
+	}
+	return s.dec.Recompose(), nil
+}

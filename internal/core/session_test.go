@@ -1,0 +1,164 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pmgard/internal/grid"
+)
+
+func TestSessionRefineMatchesOneShot(t *testing.T) {
+	f := testField(t)
+	c, err := Compress(f, DefaultConfig(), "Ex", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &c.Header
+	s, err := NewSession(h, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := h.TheoryEstimator()
+	for _, rel := range []float64{1e-1, 1e-3, 1e-5} {
+		tol := h.AbsTolerance(rel)
+		recS, _, err := s.Refine(est, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recO, _, err := RetrieveTolerance(h, c, est, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if grid.MaxAbsDiff(recS, recO) != 0 {
+			t.Fatalf("rel %g: session reconstruction differs from one-shot", rel)
+		}
+	}
+}
+
+func TestSessionFetchesOnlyDeltas(t *testing.T) {
+	f := testField(t)
+	c, err := Compress(f, DefaultConfig(), "Ex", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &c.Header
+	path := filepath.Join(t.TempDir(), "x.pmgd")
+	if err := c.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	h2, st, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	s, err := NewSession(h2, StoreSource{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := h.TheoryEstimator()
+
+	// Coarse first.
+	if _, _, err := s.Refine(est, h.AbsTolerance(1e-1)); err != nil {
+		t.Fatal(err)
+	}
+	coarseBytes := st.BytesRead()
+	coarseFetched := s.Fetched()
+
+	// Tighten: the session must only read the delta.
+	if _, _, err := s.Refine(est, h.AbsTolerance(1e-5)); err != nil {
+		t.Fatal(err)
+	}
+	totalBytes := st.BytesRead()
+	if totalBytes <= coarseBytes {
+		t.Fatal("refinement read nothing new")
+	}
+	// One-shot at the tight tolerance from a fresh store must cost at
+	// least as much as the session's delta-only total.
+	st.ResetCounters()
+	if _, _, err := RetrieveTolerance(h2, StoreSource{Store: st}, est, h.AbsTolerance(1e-5)); err != nil {
+		t.Fatal(err)
+	}
+	oneShot := st.BytesRead()
+	if totalBytes > oneShot {
+		t.Fatalf("session total %d exceeds one-shot %d — earlier reads were wasted", totalBytes, oneShot)
+	}
+	for l, have := range s.Fetched() {
+		if have < coarseFetched[l] {
+			t.Fatalf("level %d plane count went backwards", l)
+		}
+	}
+	if s.BytesFetched() != totalBytes {
+		t.Fatalf("session accounting %d != store accounting %d", s.BytesFetched(), totalBytes)
+	}
+}
+
+func TestSessionLooseningIsFree(t *testing.T) {
+	f := testField(t)
+	c, err := Compress(f, DefaultConfig(), "Ex", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &c.Header
+	s, err := NewSession(h, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := h.TheoryEstimator()
+	if _, _, err := s.Refine(est, h.AbsTolerance(1e-5)); err != nil {
+		t.Fatal(err)
+	}
+	before := s.BytesFetched()
+	// Asking for a looser tolerance afterwards reads nothing.
+	rec, _, err := s.Refine(est, h.AbsTolerance(1e-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.BytesFetched() != before {
+		t.Fatal("loosening the tolerance fetched data")
+	}
+	// And the reconstruction is still the tight one (never degrade).
+	tol := h.AbsTolerance(1e-5)
+	if achieved := grid.MaxAbsDiff(f, rec); achieved > tol {
+		t.Fatalf("reconstruction degraded after loosening: %g > %g", achieved, tol)
+	}
+}
+
+func TestSessionRefineToValidation(t *testing.T) {
+	f := testField(t)
+	c, err := Compress(f, DefaultConfig(), "Ex", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(&c.Header, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RefineTo([]int{1}); err == nil {
+		t.Fatal("short target accepted")
+	}
+	if _, err := s.RefineTo([]int{99, 0, 0, 0, 0}); err == nil {
+		t.Fatal("out-of-range target accepted")
+	}
+	if _, err := s.RefineTo([]int{-1, 0, 0, 0, 0}); err == nil {
+		t.Fatal("negative target accepted")
+	}
+}
+
+func TestSessionZeroTargetGivesZeroField(t *testing.T) {
+	f := testField(t)
+	c, err := Compress(f, DefaultConfig(), "Ex", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(&c.Header, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := s.RefineTo(make([]int, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.LinfNorm() != 0 || s.BytesFetched() != 0 {
+		t.Fatal("empty refinement not free and zero")
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"pmgard/internal/storage"
+)
+
+// WriteTiered persists the compressed field across a storage hierarchy:
+// each coefficient level's plane segments land in the directory of the tier
+// the hierarchy assigns it to (§II-A — hot coarse levels on fast tiers,
+// cold fine levels on slow ones).
+func (c *Compressed) WriteTiered(dir string, h storage.Hierarchy) error {
+	if len(h.Placement) != len(c.Header.Levels) {
+		return fmt.Errorf("core: hierarchy places %d levels, field has %d",
+			len(h.Placement), len(c.Header.Levels))
+	}
+	meta, err := json.Marshal(&c.Header)
+	if err != nil {
+		return fmt.Errorf("core: marshal header: %w", err)
+	}
+	w, err := storage.CreateTiered(dir, h, meta)
+	if err != nil {
+		return err
+	}
+	for l := range c.segments {
+		for k, seg := range c.segments[l] {
+			if err := w.WriteSegment(storage.SegmentID{Level: l, Plane: k}, seg); err != nil {
+				w.Close()
+				return err
+			}
+		}
+	}
+	return w.Close()
+}
+
+// OpenTiered opens a tiered store directory written by WriteTiered and
+// parses its header.
+func OpenTiered(dir string) (*Header, *storage.TieredStore, error) {
+	st, err := storage.OpenTiered(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var h Header
+	if err := json.Unmarshal(st.Meta(), &h); err != nil {
+		st.Close()
+		return nil, nil, fmt.Errorf("core: parse header: %w", err)
+	}
+	return &h, st, nil
+}
+
+// TieredSource adapts a TieredStore as a SegmentSource.
+type TieredSource struct {
+	Store *storage.TieredStore
+}
+
+// Segment implements SegmentSource.
+func (s TieredSource) Segment(level, plane int) ([]byte, error) {
+	return s.Store.ReadSegment(storage.SegmentID{Level: level, Plane: plane})
+}

@@ -1,0 +1,236 @@
+package dataset
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pmgard/internal/core"
+	"pmgard/internal/dmgard"
+	"pmgard/internal/emgard"
+	"pmgard/internal/grid"
+	"pmgard/internal/sim/warpx"
+)
+
+func buildDataset(t *testing.T) (string, map[string]*grid.Tensor) {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "ds")
+	w, err := Create(dir, "warpx-run", core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := warpx.DefaultConfig(9, 9, 9)
+	fields := make(map[string]*grid.Tensor)
+	for _, name := range []string{"Jx", "Ex"} {
+		for ts := 0; ts < 3; ts++ {
+			f, err := cfg.Field(name, ts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Add(f, name, ts); err != nil {
+				t.Fatal(err)
+			}
+			fields[key(name, ts)] = f
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir, fields
+}
+
+func key(name string, ts int) string { return name + "@" + string(rune('0'+ts)) }
+
+func TestDatasetCatalog(t *testing.T) {
+	dir, _ := buildDataset(t)
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Name() != "warpx-run" {
+		t.Fatalf("Name = %q", r.Name())
+	}
+	if got := r.Fields(); len(got) != 2 || got[0] != "Ex" || got[1] != "Jx" {
+		t.Fatalf("Fields = %v", got)
+	}
+	if got := r.Timesteps("Jx"); len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("Timesteps = %v", got)
+	}
+	if r.StoredBytes() <= 0 {
+		t.Fatal("StoredBytes not recorded")
+	}
+}
+
+func TestDatasetRetrieveWithinTolerance(t *testing.T) {
+	dir, fields := buildDataset(t)
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	orig := fields[key("Jx", 1)]
+	rec, plan, err := r.Retrieve("Jx", 1, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol := 1e-4 * orig.Range()
+	if achieved := grid.MaxAbsDiff(orig, rec); achieved > tol {
+		t.Fatalf("achieved %g > tol %g", achieved, tol)
+	}
+	if plan.Bytes <= 0 || r.BytesRead() < plan.Bytes {
+		t.Fatalf("accounting: plan %d, dataset %d", plan.Bytes, r.BytesRead())
+	}
+}
+
+func TestDatasetMissingEntry(t *testing.T) {
+	dir, _ := buildDataset(t)
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, _, err := r.Retrieve("Bz", 0, 1e-3); err == nil {
+		t.Fatal("missing field accepted")
+	}
+	if _, _, err := r.Retrieve("Jx", 99, 1e-3); err == nil {
+		t.Fatal("missing timestep accepted")
+	}
+}
+
+func TestDatasetModelsRequireAttachment(t *testing.T) {
+	dir, _ := buildDataset(t)
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, _, err := r.RetrieveDMGARD("Jx", 0, 1e-3); err == nil {
+		t.Fatal("D-MGARD retrieval without model accepted")
+	}
+	if _, _, err := r.RetrieveEMGARD("Jx", 0, 1e-3); err == nil {
+		t.Fatal("E-MGARD retrieval without model accepted")
+	}
+}
+
+func TestDatasetModelRetrieval(t *testing.T) {
+	dir, fields := buildDataset(t)
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Train tiny models from the same data.
+	bounds := []float64{1e-5, 1e-3, 1e-1}
+	cfg := core.DefaultConfig()
+	var drecs []dmgard.Record
+	var esamps []emgard.Sample
+	for ts := 0; ts < 3; ts++ {
+		f := fields[key("Jx", ts)]
+		dr, _, err := dmgard.Harvest(f, "Jx", ts, cfg, bounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drecs = append(drecs, dr...)
+		es, _, err := emgard.Harvest(f, "Jx", ts, cfg, bounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		esamps = append(esamps, es...)
+	}
+	dm, err := dmgard.Train(drecs, cfg.Planes, dmgard.Config{
+		Hidden: []int{8}, LeakyAlpha: 0.01, Epochs: 10, BatchSize: 4, LR: 1e-3, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := emgard.Train(esamps, emgard.Config{
+		Hidden: []int{8}, Epochs: 10, BatchSize: 4, LR: 1e-3, Seed: 1, Margin: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.AttachDMGARD(dm)
+	r.AttachEMGARD(em)
+
+	if _, plan, err := r.RetrieveDMGARD("Jx", 2, 1e-3); err != nil {
+		t.Fatal(err)
+	} else if len(plan.Planes) != 5 {
+		t.Fatalf("D-MGARD plan has %d levels", len(plan.Planes))
+	}
+	if _, plan, err := r.RetrieveEMGARD("Jx", 2, 1e-3); err != nil {
+		t.Fatal(err)
+	} else if plan.Bytes < 0 {
+		t.Fatal("negative plan bytes")
+	}
+}
+
+func TestDatasetRejectsDuplicatesAndReopens(t *testing.T) {
+	dir, _ := buildDataset(t)
+	// A second Create over the same directory must refuse.
+	if _, err := Create(dir, "x", core.DefaultConfig()); err == nil {
+		t.Fatal("Create over existing catalog accepted")
+	}
+	// Duplicate Add within one writer must refuse.
+	dir2 := filepath.Join(t.TempDir(), "d2")
+	w, err := Create(dir2, "x", core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := warpx.DefaultConfig(9, 9, 9).Field("Jx", 0)
+	if err := w.Add(f, "Jx", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add(f, "Jx", 0); err == nil {
+		t.Fatal("duplicate Add accepted")
+	}
+}
+
+func TestOpenRejectsMissingCatalog(t *testing.T) {
+	if _, err := Open(t.TempDir()); err == nil {
+		t.Fatal("missing catalog accepted")
+	}
+}
+
+func TestRetrieveSeries(t *testing.T) {
+	dir, fields := buildDataset(t)
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	series, err := r.RetrieveSeries("Jx", 0, 3, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("series has %d steps, want 3", len(series))
+	}
+	for i, s := range series {
+		if s.Timestep != i {
+			t.Fatalf("series out of order: %d at position %d", s.Timestep, i)
+		}
+		orig := fields[key("Jx", s.Timestep)]
+		if grid.MaxAbsDiff(orig, s.Field) > 1e-3*orig.Range() {
+			t.Fatalf("step %d violated tolerance", s.Timestep)
+		}
+		if s.Bytes <= 0 {
+			t.Fatalf("step %d has no cost", s.Timestep)
+		}
+	}
+	// Partial window.
+	part, err := r.RetrieveSeries("Jx", 1, 2, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(part) != 1 || part[0].Timestep != 1 {
+		t.Fatalf("partial window wrong: %+v", part)
+	}
+	// Empty windows fail loudly.
+	if _, err := r.RetrieveSeries("Jx", 5, 9, 1e-3); err == nil {
+		t.Fatal("empty window accepted")
+	}
+	if _, err := r.RetrieveSeries("Jx", 2, 2, 1e-3); err == nil {
+		t.Fatal("degenerate range accepted")
+	}
+}

@@ -1,0 +1,413 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// runQuick executes a runner at Quick scale and sanity-checks its tables.
+func runQuick(t *testing.T, id string) []*Table {
+	t.Helper()
+	r, ok := Registry()[id]
+	if !ok {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	tables, err := r.Run(Quick())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(tables) == 0 {
+		t.Fatalf("%s produced no tables", id)
+	}
+	for _, tab := range tables {
+		if tab.ID == "" || tab.Title == "" {
+			t.Fatalf("%s produced a table without id/title", id)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s table %q has no rows", id, tab.Title)
+		}
+		for i, row := range tab.Rows {
+			if len(row) != len(tab.Columns) {
+				t.Fatalf("%s table %q row %d has %d cells, want %d",
+					id, tab.Title, i, len(row), len(tab.Columns))
+			}
+		}
+	}
+	return tables
+}
+
+func cellFloat(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not numeric: %v", cell, err)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every paper artifact from DESIGN.md §3 must be registered.
+	want := []string{
+		"fig1", "fig2", "fig3", "fig5", "fig7", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "tab2",
+		"ablate-loss", "ablate-chain", "ablate-update", "ablate-greedy", "ablate-codec",
+		"ablate-pool", "ablate-augment", "ablate-session", "ablate-constant",
+		"ablate-encoding", "ablate-levels", "exp-hybrid", "exp-multifield", "exp-baselines",
+	}
+	reg := Registry()
+	for _, id := range want {
+		if _, ok := reg[id]; !ok {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(IDs()), len(want))
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("fig99", Quick(), &buf); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}
+
+func TestFig1TheoryCostsAtLeastOracle(t *testing.T) {
+	tables := runQuick(t, "fig1")
+	for _, row := range tables[0].Rows {
+		oracle := cellFloat(t, row[2])
+		theory := cellFloat(t, row[3])
+		if theory < oracle {
+			t.Fatalf("theory bytes %v below oracle %v for %v", theory, oracle, row)
+		}
+	}
+}
+
+func TestFig2AchievedBelowRequested(t *testing.T) {
+	tables := runQuick(t, "fig2")
+	pessimistic := 0
+	for _, row := range tables[0].Rows {
+		rel := cellFloat(t, row[1])
+		requested := cellFloat(t, row[2])
+		achieved := cellFloat(t, row[3])
+		// Below ~2^-30 relative, the 32-plane quantization floor can sit
+		// above the requested tolerance; the bound is unreachable there by
+		// construction, so only enforce it for attainable bounds.
+		if rel >= 1e-6 && achieved > requested {
+			t.Fatalf("achieved %v above requested %v for %v", achieved, requested, row)
+		}
+		if achieved < requested/10 {
+			pessimistic++
+		}
+	}
+	if pessimistic == 0 {
+		t.Fatal("no bound was pessimistic by ≥10x — Fig. 2's premise not reproduced")
+	}
+}
+
+func TestFig3TablesCoverFourPanels(t *testing.T) {
+	tables := runQuick(t, "fig3")
+	if len(tables) != 4 {
+		t.Fatalf("fig3 produced %d tables, want 4 panels", len(tables))
+	}
+	// Panel (b): plane counts must not increase as the bound loosens.
+	tb := tables[1]
+	for c := 1; c <= 3; c++ {
+		prev := 1e18
+		for _, row := range tb.Rows {
+			v := cellFloat(t, row[c])
+			if v > prev {
+				t.Fatalf("fig3b: plane count rose from %v to %v as bound loosened", prev, v)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestFig5CorrelationMatrixValid(t *testing.T) {
+	tables := runQuick(t, "fig5")
+	ta := tables[0]
+	n := len(ta.Rows)
+	for i, row := range ta.Rows {
+		for j := 1; j <= n; j++ {
+			v := cellFloat(t, row[j])
+			if v < -1.0000001 || v > 1.0000001 {
+				t.Fatalf("correlation out of range: %v", v)
+			}
+			if j-1 == i && v < 0.999 {
+				t.Fatalf("diagonal correlation %v != 1", v)
+			}
+		}
+	}
+	// Panel (c): percentages sum to ~100 per row (or 0 if nothing read).
+	tc := tables[2]
+	for _, row := range tc.Rows {
+		sum := 0.0
+		for j := 1; j < len(row); j++ {
+			sum += cellFloat(t, row[j])
+		}
+		if sum > 1 && (sum < 99 || sum > 101) {
+			t.Fatalf("fig5c row percentages sum to %v", sum)
+		}
+	}
+}
+
+func TestFig7ErrorsShrinkWithPlanes(t *testing.T) {
+	tables := runQuick(t, "fig7")
+	if len(tables) != 3 {
+		t.Fatalf("fig7 produced %d tables, want 3 fields", len(tables))
+	}
+	for _, tab := range tables {
+		first := tab.Rows[0]
+		last := tab.Rows[len(tab.Rows)-1]
+		for c := 1; c < len(first); c++ {
+			f, l := cellFloat(t, first[c]), cellFloat(t, last[c])
+			if f > 0 && l > f {
+				t.Fatalf("%s: level error grew from %v to %v", tab.Title, f, l)
+			}
+		}
+	}
+}
+
+func TestFig9DistributionsSumTo100(t *testing.T) {
+	tables := runQuick(t, "fig9")
+	if len(tables) != 3 {
+		t.Fatalf("fig9 produced %d tables, want 3 (Jx, Bx, Ex)", len(tables))
+	}
+	for _, tab := range tables {
+		for _, row := range tab.Rows {
+			sum := 0.0
+			for j := 1; j <= 7; j++ {
+				sum += cellFloat(t, row[j])
+			}
+			if sum < 99 || sum > 101 {
+				t.Fatalf("%s: distribution sums to %v", tab.Title, sum)
+			}
+		}
+	}
+}
+
+func TestFig10Tables(t *testing.T) {
+	tables := runQuick(t, "fig10")
+	if len(tables) != 2 {
+		t.Fatalf("fig10 produced %d tables, want 2 (Du, Dv)", len(tables))
+	}
+}
+
+func TestFig11ThreeResolutions(t *testing.T) {
+	tables := runQuick(t, "fig11")
+	if len(tables) != 3 {
+		t.Fatalf("fig11 produced %d tables, want 3 resolutions", len(tables))
+	}
+}
+
+func TestFig12EMGARDTighterThanTheory(t *testing.T) {
+	tables := runQuick(t, "fig12")
+	closer := 0
+	total := 0
+	for _, row := range tables[0].Rows {
+		requested := cellFloat(t, row[2])
+		mgard := cellFloat(t, row[3])
+		em := cellFloat(t, row[4])
+		if requested <= 0 {
+			continue
+		}
+		total++
+		// E-MGARD's achieved error should sit closer to the requested bound
+		// (higher) than theory's on most bounds.
+		if em >= mgard {
+			closer++
+		}
+	}
+	if total > 0 && closer*2 < total {
+		t.Fatalf("E-MGARD achieved error closer to bound on only %d/%d rows", closer, total)
+	}
+}
+
+func TestFig13SavingsPositive(t *testing.T) {
+	tables := runQuick(t, "fig13")
+	rows := tables[0].Rows
+	if len(rows) == 0 {
+		t.Fatal("fig13 produced no rows")
+	}
+	eWins := 0
+	for _, row := range rows {
+		savE := cellFloat(t, row[6])
+		if savE > 0 {
+			eWins++
+		}
+		mgard := cellFloat(t, row[2])
+		d := cellFloat(t, row[3])
+		e := cellFloat(t, row[4])
+		if mgard <= 0 {
+			t.Fatalf("fig13: zero baseline bytes in %v", row)
+		}
+		if d < 0 || e < 0 {
+			t.Fatalf("fig13: negative byte counts in %v", row)
+		}
+	}
+	if eWins == 0 {
+		t.Fatal("E-MGARD never reduced retrieval size — headline result not reproduced")
+	}
+}
+
+func TestTable2ListsBothApplications(t *testing.T) {
+	tables := runQuick(t, "tab2")
+	joined := ""
+	for _, row := range tables[0].Rows {
+		joined += strings.Join(row, " ") + "\n"
+	}
+	for _, want := range []string{"Gray-Scott", "WarpX", "Du", "Jx"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("tab2 missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	for _, id := range []string{"ablate-update", "ablate-greedy", "ablate-codec", "ablate-session", "ablate-encoding", "ablate-levels"} {
+		runQuick(t, id)
+	}
+}
+
+func TestExpBaselinesBoundsHold(t *testing.T) {
+	tables := runQuick(t, "exp-baselines")
+	rows := tables[0].Rows
+	if len(rows) < 2 {
+		t.Fatal("baselines produced too few rows")
+	}
+	for _, row := range rows[:len(rows)-1] {
+		rel := cellFloat(t, row[0])
+		for col := 4; col <= 6; col++ {
+			err := cellFloat(t, row[col])
+			// Each scheme's achieved error must respect its bound; the
+			// relative bound times a positive range can be recovered from
+			// the progressive column vs the known field, so just assert
+			// all errors are finite and non-negative here and rely on the
+			// per-package property tests for exact bound checks.
+			if err < 0 {
+				t.Fatalf("negative error at rel %g col %d", rel, col)
+			}
+		}
+	}
+	// The totals row: progressive store-once must be far below the sum of
+	// per-bound archives.
+	last := rows[len(rows)-1]
+	szTotal := cellFloat(t, last[1])
+	prog := cellFloat(t, last[3])
+	if prog >= szTotal {
+		t.Fatalf("progressive store-once %v not below SZ total %v", prog, szTotal)
+	}
+}
+
+func TestAblateSessionNeverCostsMoreThanOneShot(t *testing.T) {
+	tables := runQuick(t, "ablate-session")
+	for _, row := range tables[0].Rows {
+		session := cellFloat(t, row[1])
+		oneShot := cellFloat(t, row[2])
+		if session > oneShot {
+			t.Fatalf("session %v exceeded cumulative one-shot %v", session, oneShot)
+		}
+	}
+}
+
+func TestAblateGreedyWinsOverallAtScale(t *testing.T) {
+	// Greedy is a heuristic, not provably optimal per bound: on degenerate
+	// tiny grids it can lose slightly. At a realistic grid it must win in
+	// aggregate across the sweep.
+	p := Quick()
+	p.WarpXDims = []int{17, 17, 17}
+	tables, err := AblateGreedy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var greedyTotal, lmTotal float64
+	for _, row := range tables[0].Rows {
+		greedyTotal += cellFloat(t, row[1])
+		lmTotal += cellFloat(t, row[2])
+	}
+	if greedyTotal > lmTotal {
+		t.Fatalf("greedy fetched %v bytes total, level-major %v", greedyTotal, lmTotal)
+	}
+}
+
+func TestAblateCodecDeflateSmallestAtScale(t *testing.T) {
+	// Per-segment codec overhead dominates on tiny grids, so this check
+	// runs at a grid size where planes are big enough to compress.
+	p := Quick()
+	p.WarpXDims = []int{17, 17, 17}
+	tables, err := AblateCodec(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := map[string]float64{}
+	for _, row := range tables[0].Rows {
+		sizes[row[0]] = cellFloat(t, row[1])
+	}
+	if sizes["deflate"] >= sizes["raw"] {
+		t.Fatalf("deflate %v not smaller than raw %v", sizes["deflate"], sizes["raw"])
+	}
+}
+
+func TestTableFprintFormatting(t *testing.T) {
+	tab := &Table{
+		ID:      "x",
+		Title:   "demo",
+		Columns: []string{"a", "b"},
+	}
+	tab.AddRow("v", 3.14159)
+	tab.AddRow(7, 1e-12)
+	var buf bytes.Buffer
+	if err := tab.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== x: demo ==", "3.1416", "1.000e-12"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestThinBounds(t *testing.T) {
+	in := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	out := thinBounds(in, 4)
+	if len(out) != 4 {
+		t.Fatalf("thinned to %d, want 4", len(out))
+	}
+	if out[0] != 1 || out[3] != 10 {
+		t.Fatalf("endpoints lost: %v", out)
+	}
+	same := thinBounds(in, 20)
+	if len(same) != len(in) {
+		t.Fatal("short input should pass through")
+	}
+}
+
+func TestWriteCSVAndRunCSV(t *testing.T) {
+	tab := &Table{ID: "x", Title: "demo", Columns: []string{"a", "b"}}
+	tab.AddRow(1, 2.5)
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# x: demo", "a,b", "1,2.5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("CSV missing %q:\n%s", want, out)
+		}
+	}
+	dir := t.TempDir()
+	paths, err := RunCSV("tab2", Quick(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("RunCSV produced %d files", len(paths))
+	}
+	if _, err := RunCSV("nope", Quick(), dir); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}

@@ -1,0 +1,133 @@
+// Package features extracts the statistical data features F fed to D-MGARD
+// alongside the target error (§III-C): summary statistics, smoothness
+// measures and magnitude quantiles that characterize how compressible a
+// field is and therefore how many bit-planes a given tolerance will need.
+//
+// The features are deliberately scale-invariant where possible (moments
+// normalized by the value range, quantile *shape* rather than magnitudes,
+// log-scaled absolute scale) so that a model trained on one field transfers
+// to sibling fields with different physical units — the cross-field
+// evaluations of Figs. 9 and 10.
+package features
+
+import (
+	"math"
+
+	"pmgard/internal/grid"
+)
+
+// Names lists the extracted features in vector order. The final entry is
+// the timestep, which lets the model track temporal drift.
+func Names() []string {
+	return []string{
+		"log_range",      // absolute scale, log10
+		"mean_rel",       // mean / range
+		"std_rel",        // std / range
+		"skewness",       // scale-invariant
+		"kurtosis",       // scale-invariant
+		"smoothness",     // log10(grad energy / variance)
+		"l2_density_rel", // RMS value / range
+		"q50_over_linf",  // magnitude distribution shape
+		"q90_over_linf",
+		"q99_over_linf",
+		"zero_fraction", // fraction of near-zero values
+		"timestep",
+	}
+}
+
+// Count is the feature vector length.
+func Count() int { return len(Names()) }
+
+// Extract computes the feature vector of a field at the given timestep.
+// Constant fields produce finite (mostly zero) features.
+func Extract(t *grid.Tensor, timestep int) []float64 {
+	mn, mx := t.MinMax()
+	rng := mx - mn
+	linf := t.LinfNorm()
+	variance := t.Variance()
+	qs := t.QuantileSketch([]float64{0.5, 0.9, 0.99})
+
+	logRange := -300.0
+	if rng > 0 {
+		logRange = math.Log10(rng)
+	}
+	// rel maps a location statistic into [0,1] via (v - min)/range;
+	// relSpread maps a spread statistic (already offset-free) by 1/range.
+	rel := func(v float64) float64 {
+		if rng == 0 {
+			return 0
+		}
+		return (v - mn) / rng
+	}
+	relSpread := func(v float64) float64 {
+		if rng == 0 {
+			return 0
+		}
+		return v / rng
+	}
+	overLinf := func(v float64) float64 {
+		if linf == 0 {
+			return 0
+		}
+		return v / linf
+	}
+	smooth := 0.0
+	if ge := t.GradientEnergy(); ge > 0 && variance > 0 {
+		smooth = math.Log10(ge / variance)
+	}
+	nearZero := 0
+	thresh := linf * 1e-3
+	for _, v := range t.Data() {
+		if math.Abs(v) <= thresh {
+			nearZero++
+		}
+	}
+	return []float64{
+		logRange,
+		rel(t.Mean()),
+		relSpread(t.Std()),
+		t.Skewness(),
+		t.Kurtosis(),
+		smooth,
+		rel(t.L2Norm() / math.Sqrt(float64(t.Len()))),
+		overLinf(qs[0]),
+		overLinf(qs[1]),
+		overLinf(qs[2]),
+		float64(nearZero) / float64(t.Len()),
+		float64(timestep),
+	}
+}
+
+// PoolLevel condenses an arbitrary-length coefficient stream into a
+// fixed-size vector for E-MGARD's encoder network: the stream is split into
+// size equal chunks and each chunk contributes its mean absolute value.
+// Streams shorter than size are cycled; empty streams yield zeros.
+func PoolLevel(coeffs []float64, size int) []float64 {
+	out := make([]float64, size)
+	if len(coeffs) == 0 || size == 0 {
+		return out
+	}
+	if len(coeffs) <= size {
+		for i := range out {
+			out[i] = math.Abs(coeffs[i%len(coeffs)])
+		}
+		return out
+	}
+	chunk := float64(len(coeffs)) / float64(size)
+	for i := 0; i < size; i++ {
+		lo := int(float64(i) * chunk)
+		hi := int(float64(i+1) * chunk)
+		if hi > len(coeffs) {
+			hi = len(coeffs)
+		}
+		if hi <= lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for _, c := range coeffs[lo:hi] {
+			sum += math.Abs(c)
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package features
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pmgard/internal/grid"
+)
+
+func TestNamesMatchVectorLength(t *testing.T) {
+	f := grid.New(4, 4)
+	f.Fill(1)
+	v := Extract(f, 3)
+	if len(v) != Count() {
+		t.Fatalf("vector length %d != Count() %d", len(v), Count())
+	}
+	if len(Names()) != Count() {
+		t.Fatalf("Names length %d != Count %d", len(Names()), Count())
+	}
+}
+
+func TestExtractKnownValues(t *testing.T) {
+	f := grid.FromSlice([]float64{0, 10}, 2)
+	v := Extract(f, 7)
+	byName := make(map[string]float64)
+	for i, n := range Names() {
+		byName[n] = v[i]
+	}
+	if math.Abs(byName["log_range"]-1) > 1e-12 {
+		t.Fatalf("log_range = %v, want 1", byName["log_range"])
+	}
+	if byName["mean_rel"] != 0.5 {
+		t.Fatalf("mean_rel = %v, want 0.5", byName["mean_rel"])
+	}
+	if byName["std_rel"] != 0.5 {
+		t.Fatalf("std_rel = %v, want 0.5", byName["std_rel"])
+	}
+	if byName["timestep"] != 7 {
+		t.Fatalf("timestep = %v, want 7", byName["timestep"])
+	}
+	if byName["zero_fraction"] != 0.5 {
+		t.Fatalf("zero_fraction = %v, want 0.5", byName["zero_fraction"])
+	}
+}
+
+func TestExtractScaleInvariance(t *testing.T) {
+	// Scaling a field by 1000 must change only the log_range feature.
+	rng := rand.New(rand.NewSource(9))
+	a := grid.New(12, 12)
+	for i := range a.Data() {
+		a.Data()[i] = rng.NormFloat64()
+	}
+	b := a.Clone()
+	b.Apply(func(x float64) float64 { return 1000 * x })
+	va, vb := Extract(a, 3), Extract(b, 3)
+	for i, name := range Names() {
+		if name == "log_range" {
+			if math.Abs(vb[i]-va[i]-3) > 1e-9 {
+				t.Fatalf("log_range shift = %v, want 3", vb[i]-va[i])
+			}
+			continue
+		}
+		if math.Abs(va[i]-vb[i]) > 1e-9 {
+			t.Fatalf("feature %q not scale-invariant: %v vs %v", name, va[i], vb[i])
+		}
+	}
+}
+
+func TestExtractConstantFieldFinite(t *testing.T) {
+	f := grid.New(8, 8)
+	f.Fill(3)
+	for i, v := range Extract(f, 0) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("feature %q = %v for constant field", Names()[i], v)
+		}
+	}
+}
+
+func TestFeaturesDistinguishFields(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	smooth := grid.New(16, 16)
+	noisy := grid.New(16, 16)
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			smooth.Set(math.Sin(float64(i+j)/8), i, j)
+			noisy.Set(rng.NormFloat64(), i, j)
+		}
+	}
+	vs, vn := Extract(smooth, 0), Extract(noisy, 0)
+	same := true
+	for i := range vs {
+		if vs[i] != vn[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("identical features for very different fields")
+	}
+}
+
+func TestPoolLevelExactSize(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 64, 1000} {
+		coeffs := make([]float64, n)
+		for i := range coeffs {
+			coeffs[i] = float64(i) - float64(n)/2
+		}
+		out := PoolLevel(coeffs, 32)
+		if len(out) != 32 {
+			t.Fatalf("n=%d: pooled length %d, want 32", n, len(out))
+		}
+		for i, v := range out {
+			if math.IsNaN(v) || v < 0 {
+				t.Fatalf("n=%d: pooled[%d] = %v", n, i, v)
+			}
+		}
+	}
+}
+
+func TestPoolLevelPreservesMagnitudeOrdering(t *testing.T) {
+	small := make([]float64, 256)
+	large := make([]float64, 256)
+	for i := range small {
+		small[i] = 0.01
+		large[i] = 100
+	}
+	ps, pl := PoolLevel(small, 16), PoolLevel(large, 16)
+	for i := range ps {
+		if ps[i] >= pl[i] {
+			t.Fatalf("pooling lost magnitude ordering at %d: %v vs %v", i, ps[i], pl[i])
+		}
+	}
+}
+
+func TestPoolLevelShortStreamCycles(t *testing.T) {
+	out := PoolLevel([]float64{-2, 3}, 5)
+	want := []float64{2, 3, 2, 3, 2}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("pooled[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+}
+
+func TestPoolLevelZeroSize(t *testing.T) {
+	if out := PoolLevel([]float64{1, 2}, 0); len(out) != 0 {
+		t.Fatalf("size 0 pooled to %d values", len(out))
+	}
+}

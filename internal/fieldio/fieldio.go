@@ -1,0 +1,117 @@
+// Package fieldio reads and writes raw field files: a one-line JSON header
+// (field name, timestep, dimensions) followed by the little-endian float64
+// payload in row-major order. cmd/gendata writes these files and cmd/mgard
+// and cmd/train consume them, mirroring how simulation dumps flow into the
+// compression pipeline on a real system.
+package fieldio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"pmgard/internal/grid"
+)
+
+// Meta is the JSON header of a field file.
+type Meta struct {
+	// Field names the variable ("Jx", "Du", ...).
+	Field string `json:"field"`
+	// Timestep is the simulation output step.
+	Timestep int `json:"timestep"`
+	// Dims are the grid dimensions, row-major.
+	Dims []int `json:"dims"`
+}
+
+// Write stores a field to path.
+func Write(path string, meta Meta, t *grid.Tensor) error {
+	if len(meta.Dims) == 0 {
+		meta.Dims = t.Dims()
+	}
+	if !sameDims(meta.Dims, t.Dims()) {
+		return fmt.Errorf("fieldio: meta dims %v do not match tensor dims %v", meta.Dims, t.Dims())
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("fieldio: create %s: %w", path, err)
+	}
+	w := bufio.NewWriter(f)
+	header, err := json.Marshal(meta)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("fieldio: marshal header: %w", err)
+	}
+	if _, err := w.Write(append(header, '\n')); err != nil {
+		f.Close()
+		return fmt.Errorf("fieldio: write header: %w", err)
+	}
+	buf := make([]byte, 8)
+	for _, v := range t.Data() {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+		if _, err := w.Write(buf); err != nil {
+			f.Close()
+			return fmt.Errorf("fieldio: write payload: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("fieldio: flush: %w", err)
+	}
+	return f.Close()
+}
+
+// Read loads a field file.
+func Read(path string) (Meta, *grid.Tensor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Meta{}, nil, fmt.Errorf("fieldio: open %s: %w", path, err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		return Meta{}, nil, fmt.Errorf("fieldio: read header: %w", err)
+	}
+	var meta Meta
+	if err := json.Unmarshal(line, &meta); err != nil {
+		return Meta{}, nil, fmt.Errorf("fieldio: parse header: %w", err)
+	}
+	if len(meta.Dims) == 0 {
+		return Meta{}, nil, fmt.Errorf("fieldio: header has no dims")
+	}
+	n := 1
+	for _, d := range meta.Dims {
+		if d <= 0 {
+			return Meta{}, nil, fmt.Errorf("fieldio: invalid dimension %d", d)
+		}
+		if n > (1<<28)/d {
+			return Meta{}, nil, fmt.Errorf("fieldio: implausible element count for dims %v", meta.Dims)
+		}
+		n *= d
+	}
+	payload := make([]byte, 8*n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Meta{}, nil, fmt.Errorf("fieldio: read payload (%d values): %w", n, err)
+	}
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+	}
+	return meta, grid.FromSlice(data, meta.Dims...), nil
+}
+
+func sameDims(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,80 @@
+package fieldio
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pmgard/internal/grid"
+)
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := grid.New(4, 5, 3)
+	for i := range f.Data() {
+		f.Data()[i] = rng.NormFloat64()
+	}
+	path := filepath.Join(t.TempDir(), "jx.field")
+	meta := Meta{Field: "Jx", Timestep: 7}
+	if err := Write(path, meta, f); err != nil {
+		t.Fatal(err)
+	}
+	got, loaded, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Field != "Jx" || got.Timestep != 7 {
+		t.Fatalf("meta = %+v", got)
+	}
+	if grid.MaxAbsDiff(f, loaded) != 0 {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestSpecialValuesPreserved(t *testing.T) {
+	f := grid.FromSlice([]float64{0, -0.0, math.Inf(1), math.MaxFloat64, 5e-324}, 5)
+	path := filepath.Join(t.TempDir(), "x.field")
+	if err := Write(path, Meta{Field: "x"}, f); err != nil {
+		t.Fatal(err)
+	}
+	_, loaded, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range f.Data() {
+		if math.Float64bits(loaded.Data()[i]) != math.Float64bits(v) {
+			t.Fatalf("value %d not bit-identical", i)
+		}
+	}
+}
+
+func TestWriteDimsMismatch(t *testing.T) {
+	f := grid.New(2, 2)
+	err := Write(filepath.Join(t.TempDir(), "x.field"), Meta{Field: "x", Dims: []int{3}}, f)
+	if err == nil {
+		t.Fatal("dims mismatch accepted")
+	}
+}
+
+func TestReadRejectsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string][]byte{
+		"nojson.field": []byte("not json\n"),
+		"nodims.field": []byte(`{"field":"x"}` + "\n"),
+		"baddim.field": []byte(`{"field":"x","dims":[0]}` + "\n"),
+		"short.field":  []byte(`{"field":"x","dims":[4]}` + "\n\x00\x00"),
+		"noheader.bin": {},
+	}
+	for name, content := range cases {
+		path := filepath.Join(dir, name)
+		os.WriteFile(path, content, 0o644)
+		if _, _, err := Read(path); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	if _, _, err := Read(filepath.Join(dir, "missing.field")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,21 @@
+package fieldio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzRead ensures arbitrary bytes never panic the field-file parser.
+func FuzzRead(f *testing.F) {
+	f.Add([]byte(`{"field":"x","dims":[2]}` + "\n" + "0123456789abcdef"))
+	f.Add([]byte("not json\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := filepath.Join(t.TempDir(), "fuzz.field")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Skip()
+		}
+		Read(p) // must not panic
+	})
+}

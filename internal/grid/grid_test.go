@@ -1,0 +1,395 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	g := New(3, 4, 5)
+	if g.Len() != 60 {
+		t.Fatalf("Len = %d, want 60", g.Len())
+	}
+	for i, v := range g.Data() {
+		if v != 0 {
+			t.Fatalf("element %d = %v, want 0", i, v)
+		}
+	}
+	if g.NDim() != 3 {
+		t.Fatalf("NDim = %d, want 3", g.NDim())
+	}
+}
+
+func TestNewPanicsOnBadDims(t *testing.T) {
+	for _, dims := range [][]int{{}, {0}, {-1, 3}, {3, 0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v) did not panic", dims)
+				}
+			}()
+			New(dims...)
+		}()
+	}
+}
+
+func TestFromSliceSharesStorage(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6}
+	g := FromSlice(data, 2, 3)
+	g.Set(42, 1, 2)
+	if data[5] != 42 {
+		t.Fatalf("FromSlice did not share storage: data[5]=%v", data[5])
+	}
+}
+
+func TestFromSlicePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromSlice with wrong length did not panic")
+		}
+	}()
+	FromSlice(make([]float64, 5), 2, 3)
+}
+
+func TestRowMajorLayout(t *testing.T) {
+	g := New(2, 3, 4)
+	g.Set(7, 1, 2, 3)
+	// Row-major: offset = 1*12 + 2*4 + 3 = 23.
+	if g.Data()[23] != 7 {
+		t.Fatalf("row-major layout violated: Data()[23]=%v", g.Data()[23])
+	}
+	if g.At(1, 2, 3) != 7 {
+		t.Fatalf("At(1,2,3)=%v, want 7", g.At(1, 2, 3))
+	}
+}
+
+func TestOffsetPanicsOutOfRange(t *testing.T) {
+	g := New(2, 2)
+	for _, idx := range [][]int{{2, 0}, {0, -1}, {0}, {0, 0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Offset(%v) did not panic", idx)
+				}
+			}()
+			g.Offset(idx...)
+		}()
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := New(4)
+	g.Fill(3)
+	c := g.Clone()
+	c.Set(9, 0)
+	if g.At(0) != 3 {
+		t.Fatal("Clone shares storage with original")
+	}
+	if c.At(1) != 3 {
+		t.Fatal("Clone did not copy values")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := New(2, 2)
+	b := New(2, 2)
+	b.Fill(5)
+	a.CopyFrom(b)
+	if a.At(1, 1) != 5 {
+		t.Fatal("CopyFrom did not copy")
+	}
+	c := New(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyFrom with mismatched dims did not panic")
+		}
+	}()
+	a.CopyFrom(c)
+}
+
+func TestApply(t *testing.T) {
+	g := FromSlice([]float64{1, 2, 3}, 3)
+	g.Apply(func(x float64) float64 { return x * x })
+	want := []float64{1, 4, 9}
+	for i, v := range g.Data() {
+		if v != want[i] {
+			t.Fatalf("Apply: element %d = %v, want %v", i, v, want[i])
+		}
+	}
+}
+
+func TestMinMaxRange(t *testing.T) {
+	g := FromSlice([]float64{3, -1, 4, 1, 5, -9}, 6)
+	mn, mx := g.MinMax()
+	if mn != -9 || mx != 5 {
+		t.Fatalf("MinMax = (%v, %v), want (-9, 5)", mn, mx)
+	}
+	if g.Range() != 14 {
+		t.Fatalf("Range = %v, want 14", g.Range())
+	}
+}
+
+func TestMeanStdVariance(t *testing.T) {
+	g := FromSlice([]float64{2, 4, 4, 4, 5, 5, 7, 9}, 8)
+	if got := g.Mean(); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	if got := g.Variance(); got != 4 {
+		t.Fatalf("Variance = %v, want 4", got)
+	}
+	if got := g.Std(); got != 2 {
+		t.Fatalf("Std = %v, want 2", got)
+	}
+}
+
+func TestSkewnessKurtosisConstant(t *testing.T) {
+	g := New(10)
+	g.Fill(3)
+	if g.Skewness() != 0 || g.Kurtosis() != 0 {
+		t.Fatal("constant data should have zero skewness and kurtosis")
+	}
+}
+
+func TestSkewnessSign(t *testing.T) {
+	// Right-skewed data has positive skewness.
+	g := FromSlice([]float64{1, 1, 1, 1, 1, 1, 1, 1, 10}, 9)
+	if g.Skewness() <= 0 {
+		t.Fatalf("Skewness = %v, want > 0", g.Skewness())
+	}
+}
+
+func TestKurtosisGaussianNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 200000
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	g := FromSlice(data, n)
+	if k := g.Kurtosis(); math.Abs(k) > 0.1 {
+		t.Fatalf("Gaussian excess kurtosis = %v, want ~0", k)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	g := FromSlice([]float64{3, -4}, 2)
+	if g.L2Norm() != 5 {
+		t.Fatalf("L2Norm = %v, want 5", g.L2Norm())
+	}
+	if g.LinfNorm() != 4 {
+		t.Fatalf("LinfNorm = %v, want 4", g.LinfNorm())
+	}
+}
+
+func TestMaxAbsDiffAndRMSE(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 4)
+	b := FromSlice([]float64{1, 2, 3, 8}, 4)
+	if d := MaxAbsDiff(a, b); d != 4 {
+		t.Fatalf("MaxAbsDiff = %v, want 4", d)
+	}
+	if r := RMSE(a, b); r != 2 {
+		t.Fatalf("RMSE = %v, want 2", r)
+	}
+}
+
+func TestPSNR(t *testing.T) {
+	a := FromSlice([]float64{0, 10}, 2)
+	if !math.IsInf(PSNR(a, a), 1) {
+		t.Fatal("PSNR of identical tensors should be +Inf")
+	}
+	b := FromSlice([]float64{0, 9}, 2)
+	// rmse = 1/sqrt(2), range = 10 → psnr = 20*log10(10*sqrt(2)).
+	want := 20 * math.Log10(10*math.Sqrt2)
+	if got := PSNR(a, b); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("PSNR = %v, want %v", got, want)
+	}
+}
+
+func TestGradientEnergySmoothVsNoisy(t *testing.T) {
+	n := 32
+	smooth := New(n, n)
+	noisy := New(n, n)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			smooth.Set(float64(i+j)/float64(2*n), i, j)
+			noisy.Set(rng.Float64(), i, j)
+		}
+	}
+	if smooth.GradientEnergy() >= noisy.GradientEnergy() {
+		t.Fatalf("smooth gradient energy %v should be below noisy %v",
+			smooth.GradientEnergy(), noisy.GradientEnergy())
+	}
+}
+
+func TestGradientEnergyConstantZero(t *testing.T) {
+	g := New(4, 4, 4)
+	g.Fill(7)
+	if e := g.GradientEnergy(); e != 0 {
+		t.Fatalf("constant field gradient energy = %v, want 0", e)
+	}
+}
+
+func TestQuantileSketchMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := make([]float64, 10000)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	g := FromSlice(data, len(data))
+	qs := g.QuantileSketch([]float64{0.1, 0.5, 0.9, 0.99})
+	for i := 1; i < len(qs); i++ {
+		if qs[i] < qs[i-1] {
+			t.Fatalf("quantiles not monotone: %v", qs)
+		}
+	}
+	// Median of |N(0,1)| is ~0.674.
+	if qs[1] < 0.4 || qs[1] > 0.95 {
+		t.Fatalf("median of |N(0,1)| = %v, want ~0.674", qs[1])
+	}
+}
+
+func TestQuantileSketchConstant(t *testing.T) {
+	g := New(100)
+	g.Fill(-2)
+	qs := g.QuantileSketch([]float64{0.5})
+	if qs[0] != 2 {
+		t.Fatalf("quantile of constant |-2| = %v, want 2", qs[0])
+	}
+}
+
+func TestResampleIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := New(5, 7, 3)
+	for i := range g.Data() {
+		g.Data()[i] = rng.Float64()
+	}
+	r := g.Resample(5, 7, 3)
+	if MaxAbsDiff(g, r) > 1e-12 {
+		t.Fatalf("identity resample changed values by %v", MaxAbsDiff(g, r))
+	}
+}
+
+func TestResampleLinearExact(t *testing.T) {
+	// Multilinear resampling reproduces a linear field exactly at any size.
+	g := New(9, 9)
+	for i := 0; i < 9; i++ {
+		for j := 0; j < 9; j++ {
+			g.Set(2*float64(i)+3*float64(j), i, j)
+		}
+	}
+	r := g.Resample(17, 5)
+	for i := 0; i < 17; i++ {
+		for j := 0; j < 5; j++ {
+			x := float64(i) * 8.0 / 16.0
+			y := float64(j) * 8.0 / 4.0
+			want := 2*x + 3*y
+			if math.Abs(r.At(i, j)-want) > 1e-9 {
+				t.Fatalf("Resample(%d,%d) = %v, want %v", i, j, r.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestResampleEndpointsPreserved(t *testing.T) {
+	g := FromSlice([]float64{1, 5, 2, 8}, 4)
+	r := g.Resample(7)
+	if r.At(0) != 1 || math.Abs(r.At(6)-8) > 1e-12 {
+		t.Fatalf("endpoints not preserved: got %v and %v", r.At(0), r.At(6))
+	}
+}
+
+func TestResampleRankMismatchPanics(t *testing.T) {
+	g := New(4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Resample with wrong rank did not panic")
+		}
+	}()
+	g.Resample(4)
+}
+
+// Property: for any data, min <= mean <= max.
+func TestQuickMeanBetweenMinMax(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true // skip pathological inputs
+			}
+		}
+		g := FromSlice(raw, len(raw))
+		mn, mx := g.MinMax()
+		m := g.Mean()
+		return m >= mn-1e-9*math.Abs(mn)-1e-300 && m <= mx+1e-9*math.Abs(mx)+1e-300
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: resampling a tensor to a coarser grid and back never produces
+// values outside the original min/max (multilinear interpolation is a
+// convex combination).
+func TestQuickResampleConvexHull(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(12)
+		g := New(n, n)
+		for i := range g.Data() {
+			g.Data()[i] = rng.NormFloat64() * 100
+		}
+		mn, mx := g.MinMax()
+		m := 2 + rng.Intn(20)
+		r := g.Resample(m, m)
+		rmn, rmx := r.MinMax()
+		if rmn < mn-1e-9 || rmx > mx+1e-9 {
+			t.Fatalf("resampled values [%v,%v] escape original hull [%v,%v]", rmn, rmx, mn, mx)
+		}
+	}
+}
+
+func TestSlice(t *testing.T) {
+	g := New(4, 5)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 5; j++ {
+			g.Set(float64(10*i+j), i, j)
+		}
+	}
+	s := g.Slice([]int{1, 2}, []int{3, 5})
+	if d := s.Dims(); d[0] != 2 || d[1] != 3 {
+		t.Fatalf("slice dims %v", d)
+	}
+	if s.At(0, 0) != 12 || s.At(1, 2) != 24 {
+		t.Fatalf("slice values wrong: %v %v", s.At(0, 0), s.At(1, 2))
+	}
+	// The slice is a copy.
+	s.Set(99, 0, 0)
+	if g.At(1, 2) == 99 {
+		t.Fatal("Slice aliased the original")
+	}
+}
+
+func TestSlicePanics(t *testing.T) {
+	g := New(4, 4)
+	cases := [][2][]int{
+		{{0}, {2, 2}},
+		{{-1, 0}, {2, 2}},
+		{{0, 0}, {5, 2}},
+		{{2, 0}, {2, 2}},
+	}
+	for i, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			g.Slice(c[0], c[1])
+		}()
+	}
+}

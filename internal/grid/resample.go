@@ -1,0 +1,83 @@
+package grid
+
+import "fmt"
+
+// Resample returns a new tensor with the given dimensions whose values are
+// multilinear interpolations of t. It supports any rank up to 4 and is used
+// to derive lower- or higher-resolution variants of a field for the
+// cross-resolution experiments (Fig. 11 in the paper).
+func (t *Tensor) Resample(dims ...int) *Tensor {
+	if len(dims) != len(t.dims) {
+		panic(fmt.Sprintf("grid: Resample rank %d does not match tensor rank %d", len(dims), len(t.dims)))
+	}
+	if len(dims) > 4 {
+		panic("grid: Resample supports at most rank 4")
+	}
+	out := New(dims...)
+	rank := len(dims)
+
+	// Map output index i in [0,dims[d]) to source coordinate in
+	// [0, t.dims[d]-1], aligning the endpoints of both grids.
+	scale := make([]float64, rank)
+	for d := 0; d < rank; d++ {
+		if dims[d] > 1 && t.dims[d] > 1 {
+			scale[d] = float64(t.dims[d]-1) / float64(dims[d]-1)
+		}
+	}
+
+	idx := make([]int, rank)
+	lo := make([]int, rank)
+	frac := make([]float64, rank)
+	var walk func(d int)
+	walk = func(d int) {
+		if d == rank {
+			out.data[out.Offset(idx...)] = t.interp(lo, frac)
+			return
+		}
+		for i := 0; i < dims[d]; i++ {
+			idx[d] = i
+			src := float64(i) * scale[d]
+			l := int(src)
+			if l >= t.dims[d]-1 {
+				l = t.dims[d] - 1
+				frac[d] = 0
+			} else {
+				frac[d] = src - float64(l)
+			}
+			lo[d] = l
+			walk(d + 1)
+		}
+	}
+	walk(0)
+	return out
+}
+
+// interp evaluates the multilinear interpolant at the cell anchored at lo
+// with fractional offsets frac along each axis.
+func (t *Tensor) interp(lo []int, frac []float64) float64 {
+	rank := len(t.dims)
+	// Sum over the 2^rank cell corners.
+	corners := 1 << rank
+	val := 0.0
+	for c := 0; c < corners; c++ {
+		w := 1.0
+		off := 0
+		for d := 0; d < rank; d++ {
+			if c&(1<<d) != 0 {
+				if lo[d]+1 >= t.dims[d] {
+					w = 0
+					break
+				}
+				w *= frac[d]
+				off += (lo[d] + 1) * t.strides[d]
+			} else {
+				w *= 1 - frac[d]
+				off += lo[d] * t.strides[d]
+			}
+		}
+		if w != 0 {
+			val += w * t.data[off]
+		}
+	}
+	return val
+}

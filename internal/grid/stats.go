@@ -1,0 +1,184 @@
+package grid
+
+import "math"
+
+// MinMax returns the minimum and maximum element values. It panics on an
+// empty tensor (which cannot be constructed through this package).
+func (t *Tensor) MinMax() (min, max float64) {
+	min, max = t.data[0], t.data[0]
+	for _, v := range t.data[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// Range returns max - min of the element values.
+func (t *Tensor) Range() float64 {
+	mn, mx := t.MinMax()
+	return mx - mn
+}
+
+// Mean returns the arithmetic mean of the elements.
+func (t *Tensor) Mean() float64 {
+	sum := 0.0
+	for _, v := range t.data {
+		sum += v
+	}
+	return sum / float64(len(t.data))
+}
+
+// Std returns the population standard deviation of the elements.
+func (t *Tensor) Std() float64 {
+	return math.Sqrt(t.Variance())
+}
+
+// Variance returns the population variance of the elements.
+func (t *Tensor) Variance() float64 {
+	mean := t.Mean()
+	sum := 0.0
+	for _, v := range t.data {
+		d := v - mean
+		sum += d * d
+	}
+	return sum / float64(len(t.data))
+}
+
+// Skewness returns the population skewness (third standardized moment).
+// It returns 0 for constant data.
+func (t *Tensor) Skewness() float64 {
+	mean := t.Mean()
+	m2, m3 := 0.0, 0.0
+	for _, v := range t.data {
+		d := v - mean
+		m2 += d * d
+		m3 += d * d * d
+	}
+	n := float64(len(t.data))
+	m2 /= n
+	m3 /= n
+	if m2 == 0 {
+		return 0
+	}
+	return m3 / math.Pow(m2, 1.5)
+}
+
+// Kurtosis returns the population excess kurtosis (fourth standardized
+// moment minus 3). It returns 0 for constant data.
+func (t *Tensor) Kurtosis() float64 {
+	mean := t.Mean()
+	m2, m4 := 0.0, 0.0
+	for _, v := range t.data {
+		d := v - mean
+		d2 := d * d
+		m2 += d2
+		m4 += d2 * d2
+	}
+	n := float64(len(t.data))
+	m2 /= n
+	m4 /= n
+	if m2 == 0 {
+		return 0
+	}
+	return m4/(m2*m2) - 3
+}
+
+// L2Norm returns the Euclidean norm of the elements.
+func (t *Tensor) L2Norm() float64 {
+	sum := 0.0
+	for _, v := range t.data {
+		sum += v * v
+	}
+	return math.Sqrt(sum)
+}
+
+// LinfNorm returns the maximum absolute element value.
+func (t *Tensor) LinfNorm() float64 {
+	max := 0.0
+	for _, v := range t.data {
+		a := math.Abs(v)
+		if a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// GradientEnergy returns the mean squared first difference along every axis,
+// a cheap smoothness measure: smooth fields score low, noisy fields high.
+func (t *Tensor) GradientEnergy() float64 {
+	sum := 0.0
+	count := 0
+	for axis := 0; axis < len(t.dims); axis++ {
+		if t.dims[axis] < 2 {
+			continue
+		}
+		stride := t.strides[axis]
+		// Iterate over all elements that have a successor along axis.
+		n := len(t.data)
+		dimLen := t.dims[axis]
+		// Outer size = product of dims before axis; inner = stride.
+		outer := n / (dimLen * stride)
+		for o := 0; o < outer; o++ {
+			base := o * dimLen * stride
+			for j := 0; j < (dimLen-1)*stride; j++ {
+				d := t.data[base+j+stride] - t.data[base+j]
+				sum += d * d
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+// QuantileSketch returns approximate q-quantiles of the absolute values of
+// the elements, computed from a fixed-size histogram. qs values must be in
+// [0, 1]. It is used by the feature extractor, where exact quantiles are
+// unnecessary.
+func (t *Tensor) QuantileSketch(qs []float64) []float64 {
+	const bins = 1024
+	mn, mx := math.Inf(1), math.Inf(-1)
+	for _, v := range t.data {
+		a := math.Abs(v)
+		if a < mn {
+			mn = a
+		}
+		if a > mx {
+			mx = a
+		}
+	}
+	out := make([]float64, len(qs))
+	if mx <= mn {
+		for i := range out {
+			out[i] = mn
+		}
+		return out
+	}
+	var hist [bins]int
+	scale := float64(bins-1) / (mx - mn)
+	for _, v := range t.data {
+		b := int((math.Abs(v) - mn) * scale)
+		hist[b]++
+	}
+	total := len(t.data)
+	for i, q := range qs {
+		target := int(q * float64(total))
+		cum := 0
+		out[i] = mx
+		for b := 0; b < bins; b++ {
+			cum += hist[b]
+			if cum >= target {
+				out[i] = mn + float64(b)/scale
+				break
+			}
+		}
+	}
+	return out
+}

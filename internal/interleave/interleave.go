@@ -1,0 +1,152 @@
+// Package interleave owns the index bookkeeping between an N-dimensional
+// grid and the linearized per-level coefficient streams used by the
+// bit-plane encoder (the paper's "interleaver", §II-B).
+//
+// A decomposition with L coefficient levels assigns every grid node to
+// exactly one level:
+//
+//   - level 0 (the "highest" level in the paper's terminology, with the
+//     lowest resolution) holds the nodes of the coarsest grid — those whose
+//     index is a multiple of 2^(L-1) along every axis;
+//   - level l (1 ≤ l < L) holds the detail nodes introduced when refining
+//     from step L-l to step L-l-1 — nodes active on the 2^(L-1-l) grid that
+//     are not on the 2^(L-l) grid.
+//
+// Within a level, nodes are ordered by row-major scan of the full grid, so
+// the mapping is deterministic and reproducible across processes.
+package interleave
+
+import "fmt"
+
+// Plan holds the precomputed grid↔level index maps for one (dims, levels)
+// configuration. Plans are immutable after construction and safe for
+// concurrent use.
+type Plan struct {
+	dims   []int
+	levels int
+	// levelOf[flat] is the level of each grid node.
+	levelOf []uint8
+	// indices[l] lists the flat grid offsets of level l's nodes in
+	// row-major scan order.
+	indices [][]int
+}
+
+// NewPlan builds the index maps for a grid with the given dimensions and
+// number of coefficient levels. levels must be in [1, 30] and dims non-empty
+// with positive extents.
+func NewPlan(dims []int, levels int) (*Plan, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("interleave: empty dims")
+	}
+	if levels < 1 || levels > 30 {
+		return nil, fmt.Errorf("interleave: levels %d out of range [1,30]", levels)
+	}
+	n := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("interleave: non-positive dimension %d", d)
+		}
+		n *= d
+	}
+	p := &Plan{
+		dims:    append([]int(nil), dims...),
+		levels:  levels,
+		levelOf: make([]uint8, n),
+		indices: make([][]int, levels),
+	}
+	idx := make([]int, len(dims))
+	for flat := 0; flat < n; flat++ {
+		l := levelOfIndex(idx, levels)
+		p.levelOf[flat] = uint8(l)
+		p.indices[l] = append(p.indices[l], flat)
+		// Advance row-major multi-index.
+		for d := len(idx) - 1; d >= 0; d-- {
+			idx[d]++
+			if idx[d] < dims[d] {
+				break
+			}
+			idx[d] = 0
+		}
+	}
+	return p, nil
+}
+
+// levelOfIndex computes the coefficient level of a node. A node is active at
+// refinement step s iff every axis index is a multiple of 2^s. The node's
+// introduction step is the largest such s (capped at levels-1), and the
+// level is levels-1-s, so that level 0 is the coarsest grid.
+func levelOfIndex(idx []int, levels int) int {
+	s := levels - 1
+	for _, i := range idx {
+		v := trailingDivisibility(i, levels-1)
+		if v < s {
+			s = v
+		}
+	}
+	return levels - 1 - s
+}
+
+// trailingDivisibility returns the largest s ≤ cap such that i is a multiple
+// of 2^s. For i == 0 it returns cap (zero is on every grid).
+func trailingDivisibility(i, max int) int {
+	if i == 0 {
+		return max
+	}
+	s := 0
+	for i&1 == 0 && s < max {
+		i >>= 1
+		s++
+	}
+	return s
+}
+
+// Dims returns the grid dimensions of the plan.
+func (p *Plan) Dims() []int { return p.dims }
+
+// Levels returns the number of coefficient levels L.
+func (p *Plan) Levels() int { return p.levels }
+
+// LevelSizes returns the number of nodes on each level.
+func (p *Plan) LevelSizes() []int {
+	sizes := make([]int, p.levels)
+	for l, ix := range p.indices {
+		sizes[l] = len(ix)
+	}
+	return sizes
+}
+
+// LevelOf returns the level of the grid node at the given flat offset.
+func (p *Plan) LevelOf(flat int) int { return int(p.levelOf[flat]) }
+
+// Indices returns the flat grid offsets of level l's nodes, in the
+// deterministic stream order. The returned slice must not be modified.
+func (p *Plan) Indices(l int) []int { return p.indices[l] }
+
+// Extract gathers the level-l coefficients from the in-place transformed
+// grid data into dst, which must have length LevelSizes()[l]. It returns dst
+// for convenience; if dst is nil a new slice is allocated.
+func (p *Plan) Extract(data []float64, l int, dst []float64) []float64 {
+	ix := p.indices[l]
+	if dst == nil {
+		dst = make([]float64, len(ix))
+	}
+	if len(dst) != len(ix) {
+		panic(fmt.Sprintf("interleave: Extract dst length %d, want %d", len(dst), len(ix)))
+	}
+	for i, off := range ix {
+		dst[i] = data[off]
+	}
+	return dst
+}
+
+// Inject scatters the level-l coefficient stream src back into the grid
+// data at the level's node positions. src must have length LevelSizes()[l].
+func (p *Plan) Inject(data []float64, l int, src []float64) {
+	ix := p.indices[l]
+	if len(src) != len(ix) {
+		panic(fmt.Sprintf("interleave: Inject src length %d, want %d", len(src), len(ix)))
+	}
+	for i, off := range ix {
+		data[off] = src[i]
+	}
+}

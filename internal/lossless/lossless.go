@@ -1,0 +1,164 @@
+// Package lossless provides the lossless coding stage applied to each
+// encoded bit-plane before storage (§II-B). The original MGARD uses ZSTD;
+// this reproduction substitutes stdlib DEFLATE, which preserves the
+// qualitative per-plane size profile the retrieval-size math depends on
+// (sign/high planes compress well, low-order planes look like noise).
+//
+// Codecs are stateless and safe for concurrent use.
+package lossless
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Codec compresses and decompresses byte segments.
+type Codec interface {
+	// Name identifies the codec in metadata.
+	Name() string
+	// Compress returns the encoded form of src.
+	Compress(src []byte) ([]byte, error)
+	// Decompress reverses Compress. size is the expected decoded length,
+	// which codecs use for allocation and validation.
+	Decompress(src []byte, size int) ([]byte, error)
+}
+
+// ByName returns the codec registered under name: "deflate", "rle",
+// "huffman" or "raw".
+func ByName(name string) (Codec, error) {
+	switch name {
+	case "deflate":
+		return Deflate(), nil
+	case "rle":
+		return RLE(), nil
+	case "huffman":
+		return Huffman(), nil
+	case "raw":
+		return Raw(), nil
+	default:
+		return nil, fmt.Errorf("lossless: unknown codec %q", name)
+	}
+}
+
+// Deflate returns a DEFLATE codec at the default compression level.
+func Deflate() Codec { return deflateCodec{} }
+
+type deflateCodec struct{}
+
+func (deflateCodec) Name() string { return "deflate" }
+
+// flateWriters pools encoders: a fresh flate.Writer allocates hundreds of
+// kilobytes of window state, and compression runs over thousands of small
+// plane segments.
+var flateWriters = sync.Pool{
+	New: func() any {
+		w, err := flate.NewWriter(io.Discard, flate.DefaultCompression)
+		if err != nil {
+			panic(err) // only possible for invalid level constants
+		}
+		return w
+	},
+}
+
+func (deflateCodec) Compress(src []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	w := flateWriters.Get().(*flate.Writer)
+	defer flateWriters.Put(w)
+	w.Reset(&buf)
+	if _, err := w.Write(src); err != nil {
+		return nil, fmt.Errorf("lossless: deflate write: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return nil, fmt.Errorf("lossless: deflate close: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func (deflateCodec) Decompress(src []byte, size int) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(src))
+	defer r.Close()
+	out := make([]byte, 0, size)
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := r.Read(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("lossless: deflate read: %w", err)
+		}
+	}
+	if len(out) != size {
+		return nil, fmt.Errorf("lossless: deflate decoded %d bytes, want %d", len(out), size)
+	}
+	return out, nil
+}
+
+// RLE returns a simple byte-run-length codec, effective on the near-constant
+// high-order sign planes.
+func RLE() Codec { return rleCodec{} }
+
+type rleCodec struct{}
+
+func (rleCodec) Name() string { return "rle" }
+
+func (rleCodec) Compress(src []byte) ([]byte, error) {
+	out := make([]byte, 0, len(src)/4+8)
+	for i := 0; i < len(src); {
+		b := src[i]
+		run := 1
+		for i+run < len(src) && src[i+run] == b && run < 255 {
+			run++
+		}
+		out = append(out, byte(run), b)
+		i += run
+	}
+	return out, nil
+}
+
+func (rleCodec) Decompress(src []byte, size int) ([]byte, error) {
+	if len(src)%2 != 0 {
+		return nil, fmt.Errorf("lossless: rle stream has odd length %d", len(src))
+	}
+	out := make([]byte, 0, size)
+	for i := 0; i < len(src); i += 2 {
+		run, b := int(src[i]), src[i+1]
+		if run == 0 {
+			return nil, fmt.Errorf("lossless: rle zero run at offset %d", i)
+		}
+		for j := 0; j < run; j++ {
+			out = append(out, b)
+		}
+	}
+	if len(out) != size {
+		return nil, fmt.Errorf("lossless: rle decoded %d bytes, want %d", len(out), size)
+	}
+	return out, nil
+}
+
+// Raw returns an identity codec, useful for measuring the benefit of the
+// lossless stage in ablations.
+func Raw() Codec { return rawCodec{} }
+
+type rawCodec struct{}
+
+func (rawCodec) Name() string { return "raw" }
+
+func (rawCodec) Compress(src []byte) ([]byte, error) {
+	out := make([]byte, len(src))
+	copy(out, src)
+	return out, nil
+}
+
+func (rawCodec) Decompress(src []byte, size int) ([]byte, error) {
+	if len(src) != size {
+		return nil, fmt.Errorf("lossless: raw segment is %d bytes, want %d", len(src), size)
+	}
+	out := make([]byte, len(src))
+	copy(out, src)
+	return out, nil
+}

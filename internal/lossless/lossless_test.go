@@ -1,0 +1,224 @@
+package lossless
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var allCodecs = []Codec{Deflate(), RLE(), Raw(), Huffman()}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"deflate", "rle", "raw", "huffman"} {
+		c, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if c.Name() != name {
+			t.Fatalf("ByName(%q).Name() = %q", name, c.Name())
+		}
+	}
+	if _, err := ByName("zstd"); err == nil {
+		t.Fatal("ByName(zstd) should fail — substituted by deflate")
+	}
+}
+
+func TestRoundTripAllCodecs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	inputs := [][]byte{
+		nil,
+		{},
+		{0},
+		{255},
+		bytes.Repeat([]byte{0xAA}, 1000),
+		[]byte("hello progressive retrieval"),
+	}
+	random := make([]byte, 4096)
+	rng.Read(random)
+	inputs = append(inputs, random)
+
+	for _, c := range allCodecs {
+		for i, in := range inputs {
+			enc, err := c.Compress(in)
+			if err != nil {
+				t.Fatalf("%s compress input %d: %v", c.Name(), i, err)
+			}
+			dec, err := c.Decompress(enc, len(in))
+			if err != nil {
+				t.Fatalf("%s decompress input %d: %v", c.Name(), i, err)
+			}
+			if !bytes.Equal(dec, in) {
+				t.Fatalf("%s round trip failed on input %d", c.Name(), i)
+			}
+		}
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	for _, c := range allCodecs {
+		c := c
+		f := func(in []byte) bool {
+			enc, err := c.Compress(in)
+			if err != nil {
+				return false
+			}
+			dec, err := c.Decompress(enc, len(in))
+			return err == nil && bytes.Equal(dec, in)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+func TestCompressibleDataShrinks(t *testing.T) {
+	in := bytes.Repeat([]byte{0x00}, 8192)
+	for _, c := range []Codec{Deflate(), RLE()} {
+		enc, err := c.Compress(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(enc) >= len(in)/10 {
+			t.Fatalf("%s: constant input compressed to %d of %d bytes", c.Name(), len(enc), len(in))
+		}
+	}
+}
+
+func TestDecompressSizeMismatch(t *testing.T) {
+	for _, c := range allCodecs {
+		enc, err := c.Compress([]byte{1, 2, 3, 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Decompress(enc, 5); err == nil {
+			t.Fatalf("%s: size mismatch not detected", c.Name())
+		}
+	}
+}
+
+func TestRLEMalformedStreams(t *testing.T) {
+	c := RLE()
+	if _, err := c.Decompress([]byte{1}, 1); err == nil {
+		t.Fatal("odd-length RLE stream accepted")
+	}
+	if _, err := c.Decompress([]byte{0, 7}, 0); err == nil {
+		t.Fatal("zero-run RLE stream accepted")
+	}
+}
+
+func TestRLELongRuns(t *testing.T) {
+	// Runs longer than 255 must be split and still round trip.
+	in := bytes.Repeat([]byte{9}, 1000)
+	c := RLE()
+	enc, err := c.Compress(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := c.Decompress(enc, len(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, in) {
+		t.Fatal("long-run round trip failed")
+	}
+}
+
+func TestRawIsIdentityCopy(t *testing.T) {
+	in := []byte{1, 2, 3}
+	enc, _ := Raw().Compress(in)
+	if &enc[0] == &in[0] {
+		t.Fatal("Raw.Compress aliases input")
+	}
+	enc[0] = 42
+	if in[0] != 1 {
+		t.Fatal("Raw.Compress mutated input")
+	}
+}
+
+func TestHuffmanRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	inputs := [][]byte{
+		nil,
+		{},
+		{7},
+		bytes.Repeat([]byte{3}, 500),      // single symbol
+		[]byte("abracadabra abracadabra"), // few symbols
+		bytes.Repeat([]byte{0, 0, 0, 1, 0, 2}, 99), // skewed
+	}
+	random := make([]byte, 2048)
+	rng.Read(random)
+	inputs = append(inputs, random)
+	c := Huffman()
+	for i, in := range inputs {
+		enc, err := c.Compress(in)
+		if err != nil {
+			t.Fatalf("input %d: %v", i, err)
+		}
+		dec, err := c.Decompress(enc, len(in))
+		if err != nil {
+			t.Fatalf("input %d: %v", i, err)
+		}
+		if !bytes.Equal(dec, in) {
+			t.Fatalf("input %d: round trip mismatch", i)
+		}
+	}
+}
+
+func TestHuffmanCompressesSkewedData(t *testing.T) {
+	// 90% zeros: entropy ≈ 0.47 bits/byte, so Huffman should roughly halve
+	// the size even with its 260-byte table.
+	rng := rand.New(rand.NewSource(12))
+	in := make([]byte, 8192)
+	for i := range in {
+		if rng.Float64() < 0.1 {
+			in[i] = byte(rng.Intn(4) + 1)
+		}
+	}
+	enc, err := Huffman().Compress(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) > len(in)/2 {
+		t.Fatalf("skewed input compressed to %d of %d bytes", len(enc), len(in))
+	}
+}
+
+func TestHuffmanQuick(t *testing.T) {
+	c := Huffman()
+	f := func(in []byte) bool {
+		enc, err := c.Compress(in)
+		if err != nil {
+			return false
+		}
+		dec, err := c.Decompress(enc, len(in))
+		return err == nil && bytes.Equal(dec, in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHuffmanRejectsCorrupt(t *testing.T) {
+	c := Huffman()
+	if _, err := c.Decompress([]byte{1, 2, 3}, 10); err == nil {
+		t.Fatal("short stream accepted")
+	}
+	enc, _ := c.Compress([]byte("hello world"))
+	if _, err := c.Decompress(enc, 5); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	// Corrupt a code length beyond the cap.
+	bad := append([]byte(nil), enc...)
+	bad[4] = 200
+	if _, err := c.Decompress(bad, 11); err == nil {
+		t.Fatal("corrupt lengths accepted")
+	}
+}
+
+func TestHuffmanByName(t *testing.T) {
+	c, err := ByName("huffman")
+	if err != nil || c.Name() != "huffman" {
+		t.Fatalf("ByName(huffman) = %v, %v", c, err)
+	}
+}

@@ -1,0 +1,192 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Param is one trainable parameter tensor with its gradient accumulator.
+type Param struct {
+	Value []float64
+	Grad  []float64
+}
+
+// Layer is one differentiable stage of a network. Forward must be called
+// before Backward; layers cache whatever they need for the backward pass and
+// are therefore not safe for concurrent use.
+type Layer interface {
+	// Forward computes the layer output for a batch.
+	Forward(x *Mat) *Mat
+	// Backward receives ∂L/∂output and returns ∂L/∂input, accumulating
+	// parameter gradients along the way.
+	Backward(grad *Mat) *Mat
+	// Params returns the trainable parameters (nil for activations).
+	Params() []*Param
+}
+
+// Linear is a fully-connected layer: y = x·Wᵀ + b, with W of shape out×in.
+type Linear struct {
+	In, Out int
+	W       *Param // len Out·In, row-major out×in
+	B       *Param // len Out
+
+	x *Mat // cached input
+}
+
+// NewLinear builds a Linear layer with He-normal weights drawn from rng and
+// zero biases.
+func NewLinear(in, out int, rng *rand.Rand) *Linear {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn: invalid Linear shape %d→%d", in, out))
+	}
+	l := &Linear{
+		In:  in,
+		Out: out,
+		W:   &Param{Value: make([]float64, out*in), Grad: make([]float64, out*in)},
+		B:   &Param{Value: make([]float64, out), Grad: make([]float64, out)},
+	}
+	heInit(l.W.Value, in, rng)
+	return l
+}
+
+// Forward implements Layer.
+func (l *Linear) Forward(x *Mat) *Mat {
+	if x.Cols != l.In {
+		panic(fmt.Sprintf("nn: Linear expects %d inputs, got %d", l.In, x.Cols))
+	}
+	l.x = x
+	w := &Mat{Rows: l.Out, Cols: l.In, Data: l.W.Value}
+	out := MatMulABT(x, w)
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] += l.B.Value[j]
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *Linear) Backward(grad *Mat) *Mat {
+	if l.x == nil {
+		panic("nn: Linear.Backward before Forward")
+	}
+	if grad.Cols != l.Out || grad.Rows != l.x.Rows {
+		panic(fmt.Sprintf("nn: Linear.Backward got %dx%d, want %dx%d", grad.Rows, grad.Cols, l.x.Rows, l.Out))
+	}
+	// dW = gradᵀ·x ; db = column sums of grad ; dx = grad·W.
+	dw := MatMulATB(grad, l.x)
+	for i, g := range dw.Data {
+		l.W.Grad[i] += g
+	}
+	for i := 0; i < grad.Rows; i++ {
+		row := grad.Row(i)
+		for j, g := range row {
+			l.B.Grad[j] += g
+		}
+	}
+	w := &Mat{Rows: l.Out, Cols: l.In, Data: l.W.Value}
+	return MatMul(grad, w)
+}
+
+// Params implements Layer.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// LeakyReLU applies max(x, alpha·x) elementwise. The paper's D-MGARD MLPs
+// use alpha-leaky rectifiers between the hidden layers.
+type LeakyReLU struct {
+	Alpha float64
+	x     *Mat
+}
+
+// NewLeakyReLU returns a leaky rectifier with the given negative slope.
+func NewLeakyReLU(alpha float64) *LeakyReLU { return &LeakyReLU{Alpha: alpha} }
+
+// NewReLU returns a standard rectifier (alpha = 0), used by E-MGARD's
+// encoder network.
+func NewReLU() *LeakyReLU { return &LeakyReLU{} }
+
+// Forward implements Layer.
+func (r *LeakyReLU) Forward(x *Mat) *Mat {
+	r.x = x
+	out := x.Clone()
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = r.Alpha * v
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *LeakyReLU) Backward(grad *Mat) *Mat {
+	if r.x == nil {
+		panic("nn: LeakyReLU.Backward before Forward")
+	}
+	out := grad.Clone()
+	for i, v := range r.x.Data {
+		if v < 0 {
+			out.Data[i] *= r.Alpha
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (r *LeakyReLU) Params() []*Param { return nil }
+
+// Sequential chains layers.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a network from the given layers.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x *Mat) *Mat {
+	for _, l := range s.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward implements Layer.
+func (s *Sequential) Backward(grad *Mat) *Mat {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params implements Layer.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrad clears all parameter gradients.
+func ZeroGrad(params []*Param) {
+	for _, p := range params {
+		for i := range p.Grad {
+			p.Grad[i] = 0
+		}
+	}
+}
+
+// MLP builds the fully-connected architecture used throughout the paper: an
+// input layer, len(hidden) hidden layers with the given activation slope
+// between them, and a linear output layer.
+func MLP(in int, hidden []int, out int, leakyAlpha float64, rng *rand.Rand) *Sequential {
+	var layers []Layer
+	prev := in
+	for _, h := range hidden {
+		layers = append(layers, NewLinear(prev, h, rng), NewLeakyReLU(leakyAlpha))
+		prev = h
+	}
+	layers = append(layers, NewLinear(prev, out, rng))
+	return NewSequential(layers...)
+}

@@ -1,0 +1,153 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Loss measures prediction error over a batch and provides its gradient.
+// Losses report the mean over all elements so batch size does not change the
+// gradient scale.
+type Loss interface {
+	// Name identifies the loss in logs and ablation tables.
+	Name() string
+	// Forward returns the scalar loss for predictions pred against target.
+	Forward(pred, target *Mat) float64
+	// Backward returns ∂loss/∂pred.
+	Backward(pred, target *Mat) *Mat
+}
+
+func checkShapes(pred, target *Mat) {
+	if pred.Rows != target.Rows || pred.Cols != target.Cols {
+		panic(fmt.Sprintf("nn: loss shape mismatch %dx%d vs %dx%d",
+			pred.Rows, pred.Cols, target.Rows, target.Cols))
+	}
+}
+
+// MSE is the mean squared error.
+type MSE struct{}
+
+// Name implements Loss.
+func (MSE) Name() string { return "mse" }
+
+// Forward implements Loss.
+func (MSE) Forward(pred, target *Mat) float64 {
+	checkShapes(pred, target)
+	sum := 0.0
+	for i := range pred.Data {
+		d := pred.Data[i] - target.Data[i]
+		sum += d * d
+	}
+	return sum / float64(len(pred.Data))
+}
+
+// Backward implements Loss.
+func (MSE) Backward(pred, target *Mat) *Mat {
+	checkShapes(pred, target)
+	g := NewMat(pred.Rows, pred.Cols)
+	n := float64(len(pred.Data))
+	for i := range pred.Data {
+		g.Data[i] = 2 * (pred.Data[i] - target.Data[i]) / n
+	}
+	return g
+}
+
+// MAE is the mean absolute error.
+type MAE struct{}
+
+// Name implements Loss.
+func (MAE) Name() string { return "mae" }
+
+// Forward implements Loss.
+func (MAE) Forward(pred, target *Mat) float64 {
+	checkShapes(pred, target)
+	sum := 0.0
+	for i := range pred.Data {
+		sum += math.Abs(pred.Data[i] - target.Data[i])
+	}
+	return sum / float64(len(pred.Data))
+}
+
+// Backward implements Loss.
+func (MAE) Backward(pred, target *Mat) *Mat {
+	checkShapes(pred, target)
+	g := NewMat(pred.Rows, pred.Cols)
+	n := float64(len(pred.Data))
+	for i := range pred.Data {
+		switch d := pred.Data[i] - target.Data[i]; {
+		case d > 0:
+			g.Data[i] = 1 / n
+		case d < 0:
+			g.Data[i] = -1 / n
+		}
+	}
+	return g
+}
+
+// Huber is the Huber loss of Eq. 4: quadratic within Delta of the target and
+// linear beyond, combining MSE's outlier sensitivity with MAE's robustness.
+// The paper uses Delta = 1 (Eq. 5).
+type Huber struct {
+	Delta float64
+}
+
+// Name implements Loss.
+func (h Huber) Name() string { return "huber" }
+
+func (h Huber) delta() float64 {
+	if h.Delta <= 0 {
+		return 1
+	}
+	return h.Delta
+}
+
+// Forward implements Loss.
+func (h Huber) Forward(pred, target *Mat) float64 {
+	checkShapes(pred, target)
+	d := h.delta()
+	sum := 0.0
+	for i := range pred.Data {
+		e := math.Abs(pred.Data[i] - target.Data[i])
+		if e < d {
+			sum += 0.5 * e * e
+		} else {
+			sum += d * (e - 0.5*d)
+		}
+	}
+	return sum / float64(len(pred.Data))
+}
+
+// Backward implements Loss.
+func (h Huber) Backward(pred, target *Mat) *Mat {
+	checkShapes(pred, target)
+	d := h.delta()
+	g := NewMat(pred.Rows, pred.Cols)
+	n := float64(len(pred.Data))
+	for i := range pred.Data {
+		e := pred.Data[i] - target.Data[i]
+		switch {
+		case e >= d:
+			g.Data[i] = d / n
+		case e <= -d:
+			g.Data[i] = -d / n
+		default:
+			g.Data[i] = e / n
+		}
+	}
+	return g
+}
+
+// LossByName returns the loss registered under name: "mse", "mae" or
+// "huber" (δ=1). Used by the loss-ablation bench.
+func LossByName(name string) (Loss, error) {
+	switch name {
+	case "mse":
+		return MSE{}, nil
+	case "mae":
+		return MAE{}, nil
+	case "huber":
+		return Huber{Delta: 1}, nil
+	default:
+		return nil, fmt.Errorf("nn: unknown loss %q", name)
+	}
+}

@@ -1,0 +1,429 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMatMulKnown(t *testing.T) {
+	a := MatFromRows([][]float64{{1, 2}, {3, 4}})
+	b := MatFromRows([][]float64{{5, 6}, {7, 8}})
+	c := MatMul(a, b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("MatMul[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMatMulVariantsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	randMat := func(r, c int) *Mat {
+		m := NewMat(r, c)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		return m
+	}
+	a := randMat(4, 6)
+	b := randMat(4, 3)
+	// aᵀ·b via MatMulATB must equal explicit transpose product.
+	at := NewMat(a.Cols, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			at.Set(j, i, a.At(i, j))
+		}
+	}
+	want := MatMul(at, b)
+	got := MatMulATB(a, b)
+	for i := range want.Data {
+		if math.Abs(want.Data[i]-got.Data[i]) > 1e-12 {
+			t.Fatal("MatMulATB disagrees with explicit transpose")
+		}
+	}
+	// a·bᵀ via MatMulABT.
+	c := randMat(5, 6)
+	bt := NewMat(c.Cols, c.Rows)
+	for i := 0; i < c.Rows; i++ {
+		for j := 0; j < c.Cols; j++ {
+			bt.Set(j, i, c.At(i, j))
+		}
+	}
+	want2 := MatMul(a, bt)
+	got2 := MatMulABT(a, c)
+	for i := range want2.Data {
+		if math.Abs(want2.Data[i]-got2.Data[i]) > 1e-12 {
+			t.Fatal("MatMulABT disagrees with explicit transpose")
+		}
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch did not panic")
+		}
+	}()
+	MatMul(NewMat(2, 3), NewMat(2, 3))
+}
+
+func TestMatFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged rows did not panic")
+		}
+	}()
+	MatFromRows([][]float64{{1, 2}, {3}})
+}
+
+// numericalGradient estimates d(loss)/d(param) by central differences.
+func numericalGradient(model *Sequential, loss Loss, x, y *Mat, p *Param, i int) float64 {
+	const h = 1e-6
+	orig := p.Value[i]
+	p.Value[i] = orig + h
+	lp := loss.Forward(model.Forward(x), y)
+	p.Value[i] = orig - h
+	lm := loss.Forward(model.Forward(x), y)
+	p.Value[i] = orig
+	return (lp - lm) / (2 * h)
+}
+
+func TestGradientCheckAllLosses(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	model := MLP(3, []int{5, 4}, 2, 0.1, rng)
+	x := NewMat(7, 3)
+	y := NewMat(7, 2)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	for i := range y.Data {
+		y.Data[i] = rng.NormFloat64() * 2
+	}
+	for _, loss := range []Loss{MSE{}, Huber{Delta: 1}, MAE{}} {
+		params := model.Params()
+		ZeroGrad(params)
+		pred := model.Forward(x)
+		model.Backward(loss.Backward(pred, y))
+		checked := 0
+		for _, p := range params {
+			step := len(p.Value)/5 + 1
+			for i := 0; i < len(p.Value); i += step {
+				num := numericalGradient(model, loss, x, y, p, i)
+				ana := p.Grad[i]
+				scale := math.Max(math.Abs(num)+math.Abs(ana), 1e-4)
+				if math.Abs(num-ana)/scale > 1e-4 {
+					t.Fatalf("%s: gradient mismatch: analytic %g vs numeric %g", loss.Name(), ana, num)
+				}
+				checked++
+			}
+		}
+		if checked < 10 {
+			t.Fatalf("only checked %d gradients", checked)
+		}
+	}
+}
+
+func TestLeakyReLUForwardBackward(t *testing.T) {
+	r := NewLeakyReLU(0.1)
+	x := MatFromRows([][]float64{{-2, 0, 3}})
+	out := r.Forward(x)
+	want := []float64{-0.2, 0, 3}
+	for i, w := range want {
+		if math.Abs(out.Data[i]-w) > 1e-15 {
+			t.Fatalf("forward[%d] = %v, want %v", i, out.Data[i], w)
+		}
+	}
+	g := r.Backward(MatFromRows([][]float64{{1, 1, 1}}))
+	wantG := []float64{0.1, 1, 1}
+	for i, w := range wantG {
+		if g.Data[i] != w {
+			t.Fatalf("backward[%d] = %v, want %v", i, g.Data[i], w)
+		}
+	}
+}
+
+func TestHuberMatchesPaperEquation(t *testing.T) {
+	h := Huber{Delta: 1}
+	pred := MatFromRows([][]float64{{0.5}})
+	target := MatFromRows([][]float64{{0}})
+	// |e| = 0.5 < 1: quadratic branch, 0.5·0.25 = 0.125.
+	if got := h.Forward(pred, target); math.Abs(got-0.125) > 1e-15 {
+		t.Fatalf("quadratic branch = %v, want 0.125", got)
+	}
+	pred2 := MatFromRows([][]float64{{3}})
+	// |e| = 3 ≥ 1: linear branch, 3 - 0.5 = 2.5.
+	if got := h.Forward(pred2, target); math.Abs(got-2.5) > 1e-15 {
+		t.Fatalf("linear branch = %v, want 2.5", got)
+	}
+}
+
+func TestHuberBetweenMAEAndMSEGradients(t *testing.T) {
+	// For large errors Huber's gradient saturates like MAE, unlike MSE.
+	pred := MatFromRows([][]float64{{100}})
+	target := MatFromRows([][]float64{{0}})
+	gh := Huber{Delta: 1}.Backward(pred, target).Data[0]
+	gm := MSE{}.Backward(pred, target).Data[0]
+	if gh != 1 {
+		t.Fatalf("Huber gradient at large error = %v, want saturated 1", gh)
+	}
+	if gm != 200 {
+		t.Fatalf("MSE gradient = %v, want 200", gm)
+	}
+}
+
+func TestLossByName(t *testing.T) {
+	for _, name := range []string{"mse", "mae", "huber"} {
+		l, err := LossByName(name)
+		if err != nil || l.Name() != name {
+			t.Fatalf("LossByName(%q) = %v, %v", name, l, err)
+		}
+	}
+	if _, err := LossByName("hinge"); err == nil {
+		t.Fatal("unknown loss accepted")
+	}
+}
+
+func TestTrainLearnsLinearMap(t *testing.T) {
+	// y = 2x₀ - x₁ + 0.5 learned by a small MLP to low error.
+	rng := rand.New(rand.NewSource(3))
+	n := 256
+	x := NewMat(n, 2)
+	y := NewMat(n, 1)
+	for i := 0; i < n; i++ {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		x.Set(i, 0, a)
+		x.Set(i, 1, b)
+		y.Set(i, 0, 2*a-b+0.5)
+	}
+	model := MLP(2, []int{16, 16}, 1, 0.01, rng)
+	hist, err := Train(model, x, y, TrainConfig{
+		Epochs: 200, BatchSize: 32, Seed: 1,
+		Loss: MSE{}, Optimizer: NewAdam(0.01),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist[len(hist)-1] > 1e-3 {
+		t.Fatalf("final training loss %g, want < 1e-3 (first %g)", hist[len(hist)-1], hist[0])
+	}
+	// Check generalization on fresh points.
+	test := MatFromRows([][]float64{{1, 1}, {-0.5, 0.3}})
+	pred := Predict(model, test)
+	wants := []float64{1.5, -0.8}
+	for i, w := range wants {
+		if math.Abs(pred.At(i, 0)-w) > 0.15 {
+			t.Fatalf("pred[%d] = %v, want ≈%v", i, pred.At(i, 0), w)
+		}
+	}
+}
+
+func TestTrainDeterministicAcrossRuns(t *testing.T) {
+	build := func() (*Sequential, *Mat, *Mat) {
+		rng := rand.New(rand.NewSource(4))
+		x := NewMat(64, 3)
+		y := NewMat(64, 1)
+		for i := range x.Data {
+			x.Data[i] = rng.NormFloat64()
+		}
+		for i := range y.Data {
+			y.Data[i] = rng.NormFloat64()
+		}
+		return MLP(3, []int{8}, 1, 0.01, rng), x, y
+	}
+	m1, x1, y1 := build()
+	m2, x2, y2 := build()
+	cfg := TrainConfig{Epochs: 5, BatchSize: 16, Seed: 9, Loss: Huber{Delta: 1}, Optimizer: NewAdam(0.001)}
+	h1, err := Train(m1, x1, y1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfg
+	cfg2.Optimizer = NewAdam(0.001)
+	h2, err := Train(m2, x2, y2, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Fatalf("training not deterministic: epoch %d losses %g vs %g", i, h1[i], h2[i])
+		}
+	}
+}
+
+func TestTrainConfigValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := MLP(1, nil, 1, 0, rng)
+	x, y := NewMat(4, 1), NewMat(4, 1)
+	bad := []TrainConfig{
+		{Epochs: 0, BatchSize: 1, Loss: MSE{}, Optimizer: NewSGD(0.1, 0)},
+		{Epochs: 1, BatchSize: 0, Loss: MSE{}, Optimizer: NewSGD(0.1, 0)},
+		{Epochs: 1, BatchSize: 1, Optimizer: NewSGD(0.1, 0)},
+		{Epochs: 1, BatchSize: 1, Loss: MSE{}},
+	}
+	for i, cfg := range bad {
+		if _, err := Train(m, x, y, cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+	if _, err := Train(m, NewMat(3, 1), NewMat(4, 1), bad[0]); err == nil {
+		t.Error("mismatched sample counts accepted")
+	}
+}
+
+func TestSGDMomentumConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 128
+	x := NewMat(n, 1)
+	y := NewMat(n, 1)
+	for i := 0; i < n; i++ {
+		v := rng.NormFloat64()
+		x.Set(i, 0, v)
+		y.Set(i, 0, 3*v)
+	}
+	model := MLP(1, []int{8}, 1, 0.01, rng)
+	hist, err := Train(model, x, y, TrainConfig{
+		Epochs: 100, BatchSize: 32, Seed: 2, Loss: MSE{}, Optimizer: NewSGD(0.01, 0.9),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist[len(hist)-1] > hist[0]/10 {
+		t.Fatalf("SGD+momentum did not converge: %g → %g", hist[0], hist[len(hist)-1])
+	}
+}
+
+func TestScalerRoundTrip(t *testing.T) {
+	x := MatFromRows([][]float64{{1, 100, 5}, {2, 200, 5}, {3, 300, 5}})
+	s := FitScaler(x)
+	tx := s.Transform(x)
+	// Columns 0 and 1 standardized; column 2 constant → unit scale.
+	for j := 0; j < 2; j++ {
+		mean, variance := 0.0, 0.0
+		for i := 0; i < 3; i++ {
+			mean += tx.At(i, j)
+		}
+		mean /= 3
+		for i := 0; i < 3; i++ {
+			d := tx.At(i, j) - mean
+			variance += d * d
+		}
+		variance /= 3
+		if math.Abs(mean) > 1e-12 || math.Abs(variance-1) > 1e-9 {
+			t.Fatalf("col %d: mean %g var %g after standardize", j, mean, variance)
+		}
+	}
+	if tx.At(0, 2) != 0 {
+		t.Fatalf("constant column transformed to %g, want 0", tx.At(0, 2))
+	}
+	row := []float64{2, 200, 5}
+	s.TransformRow(row)
+	for j, v := range row {
+		if math.Abs(v-tx.At(1, j)) > 1e-12 {
+			t.Fatalf("TransformRow disagrees with Transform at col %d", j)
+		}
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	model := MLP(4, []int{8, 6}, 2, 0.01, rng)
+	x := NewMat(3, 4)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	want := model.Forward(x)
+
+	var buf bytes.Buffer
+	if err := Save(&buf, model); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := loaded.Forward(x)
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatal("loaded model predicts differently")
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestMLPArchitecture(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	// Six hidden layers, as in the paper's D-MGARD MLP (Fig. 6c).
+	m := MLP(10, []int{64, 64, 64, 64, 64, 64}, 1, 0.01, rng)
+	// 6 linear+act pairs plus output linear = 13 layers.
+	if len(m.Layers) != 13 {
+		t.Fatalf("layer count = %d, want 13", len(m.Layers))
+	}
+	out := m.Forward(NewMat(2, 10))
+	if out.Rows != 2 || out.Cols != 1 {
+		t.Fatalf("output shape %dx%d, want 2x1", out.Rows, out.Cols)
+	}
+}
+
+func TestTrainValidationSplitConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	m := MLP(1, nil, 1, 0, rng)
+	x, y := NewMat(10, 1), NewMat(10, 1)
+	base := TrainConfig{Epochs: 2, BatchSize: 2, Loss: MSE{}, Optimizer: NewSGD(0.01, 0)}
+	bad := base
+	bad.ValFrac = -0.1
+	if _, err := Train(m, x, y, bad); err == nil {
+		t.Error("negative ValFrac accepted")
+	}
+	bad = base
+	bad.ValFrac = 1
+	if _, err := Train(m, x, y, bad); err == nil {
+		t.Error("ValFrac=1 accepted")
+	}
+	bad = base
+	bad.Patience = 3
+	if _, err := Train(m, x, y, bad); err == nil {
+		t.Error("Patience without ValFrac accepted")
+	}
+	bad = base
+	bad.ValFrac = 0.01 // empty split on 10 samples
+	if _, err := Train(m, x, y, bad); err == nil {
+		t.Error("empty validation split accepted")
+	}
+}
+
+func TestTrainEarlyStopping(t *testing.T) {
+	// A trivially learnable constant target converges immediately, so
+	// patience should halt training well before the epoch budget.
+	rng := rand.New(rand.NewSource(21))
+	n := 128
+	x := NewMat(n, 2)
+	y := NewMat(n, 1)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, rng.NormFloat64())
+		x.Set(i, 1, rng.NormFloat64())
+		// Pure noise target: validation loss cannot keep improving.
+		y.Set(i, 0, rng.NormFloat64())
+	}
+	m := MLP(2, []int{8}, 1, 0.01, rng)
+	hist, err := Train(m, x, y, TrainConfig{
+		Epochs: 500, BatchSize: 32, Seed: 3,
+		Loss: MSE{}, Optimizer: NewAdam(0.01),
+		ValFrac: 0.25, Patience: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) >= 500 {
+		t.Fatalf("early stopping never triggered (%d epochs)", len(hist))
+	}
+}

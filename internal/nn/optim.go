@@ -1,0 +1,103 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update to every parameter and leaves the gradients
+	// untouched (callers ZeroGrad between batches).
+	Step(params []*Param)
+}
+
+// SGD is stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+
+	velocity map[*Param][]float64
+}
+
+// NewSGD returns an SGD optimizer. lr must be positive.
+func NewSGD(lr, momentum float64) *SGD {
+	if lr <= 0 {
+		panic(fmt.Sprintf("nn: SGD learning rate %g must be positive", lr))
+	}
+	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[*Param][]float64)}
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		if s.Momentum == 0 {
+			for i := range p.Value {
+				p.Value[i] -= s.LR * p.Grad[i]
+			}
+			continue
+		}
+		v := s.velocity[p]
+		if v == nil {
+			v = make([]float64, len(p.Value))
+			s.velocity[p] = v
+		}
+		for i := range p.Value {
+			v[i] = s.Momentum*v[i] - s.LR*p.Grad[i]
+			p.Value[i] += v[i]
+		}
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction, the
+// training configuration used for both D-MGARD and E-MGARD.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+
+	t int
+	m map[*Param][]float64
+	v map[*Param][]float64
+}
+
+// NewAdam returns an Adam optimizer with standard defaults for the moment
+// decays (0.9, 0.999) and epsilon (1e-8).
+func NewAdam(lr float64) *Adam {
+	if lr <= 0 {
+		panic(fmt.Sprintf("nn: Adam learning rate %g must be positive", lr))
+	}
+	return &Adam{
+		LR:    lr,
+		Beta1: 0.9,
+		Beta2: 0.999,
+		Eps:   1e-8,
+		m:     make(map[*Param][]float64),
+		v:     make(map[*Param][]float64),
+	}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m := a.m[p]
+		if m == nil {
+			m = make([]float64, len(p.Value))
+			a.m[p] = m
+		}
+		v := a.v[p]
+		if v == nil {
+			v = make([]float64, len(p.Value))
+			a.v[p] = v
+		}
+		for i := range p.Value {
+			g := p.Grad[i]
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			mhat := m[i] / c1
+			vhat := v[i] / c2
+			p.Value[i] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
+		}
+	}
+}

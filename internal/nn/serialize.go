@@ -1,0 +1,101 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// layerSpec is the gob-serializable description of one layer.
+type layerSpec struct {
+	Kind    string // "linear" or "leakyrelu"
+	In, Out int
+	Alpha   float64
+	W, B    []float64
+}
+
+// modelFile is the on-disk representation of a Sequential model.
+type modelFile struct {
+	Version int
+	Specs   []layerSpec
+}
+
+// Save writes a Sequential model to w in gob format.
+func Save(w io.Writer, m *Sequential) error {
+	mf := modelFile{Version: 1}
+	for _, l := range m.Layers {
+		switch t := l.(type) {
+		case *Linear:
+			mf.Specs = append(mf.Specs, layerSpec{
+				Kind: "linear", In: t.In, Out: t.Out,
+				W: t.W.Value, B: t.B.Value,
+			})
+		case *LeakyReLU:
+			mf.Specs = append(mf.Specs, layerSpec{Kind: "leakyrelu", Alpha: t.Alpha})
+		default:
+			return fmt.Errorf("nn: cannot serialize layer of type %T", l)
+		}
+	}
+	if err := gob.NewEncoder(w).Encode(mf); err != nil {
+		return fmt.Errorf("nn: encode model: %w", err)
+	}
+	return nil
+}
+
+// Load reads a Sequential model written by Save.
+func Load(r io.Reader) (*Sequential, error) {
+	var mf modelFile
+	if err := gob.NewDecoder(r).Decode(&mf); err != nil {
+		return nil, fmt.Errorf("nn: decode model: %w", err)
+	}
+	if mf.Version != 1 {
+		return nil, fmt.Errorf("nn: unsupported model version %d", mf.Version)
+	}
+	var layers []Layer
+	for i, sp := range mf.Specs {
+		switch sp.Kind {
+		case "linear":
+			if sp.In <= 0 || sp.Out <= 0 || len(sp.W) != sp.In*sp.Out || len(sp.B) != sp.Out {
+				return nil, fmt.Errorf("nn: corrupt linear spec at layer %d", i)
+			}
+			l := &Linear{
+				In: sp.In, Out: sp.Out,
+				W: &Param{Value: sp.W, Grad: make([]float64, len(sp.W))},
+				B: &Param{Value: sp.B, Grad: make([]float64, len(sp.B))},
+			}
+			layers = append(layers, l)
+		case "leakyrelu":
+			layers = append(layers, NewLeakyReLU(sp.Alpha))
+		default:
+			return nil, fmt.Errorf("nn: unknown layer kind %q at layer %d", sp.Kind, i)
+		}
+	}
+	return NewSequential(layers...), nil
+}
+
+// SaveFile writes the model to a file path.
+func SaveFile(path string, m *Sequential) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("nn: create %s: %w", path, err)
+	}
+	if err := Save(f, m); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("nn: close %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadFile reads a model from a file path.
+func LoadFile(path string) (*Sequential, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("nn: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,368 @@
+// Package retrieval implements the progressive retrieval planner: given the
+// per-level error matrices and compressed bit-plane sizes collected at
+// compression time, it decides how many bit-planes to fetch from each
+// coefficient level to satisfy an error tolerance (§II-C, §III-A).
+//
+// The planner is the integration point for the paper's contribution: the
+// error estimator is pluggable, so the original theory bound (Eq. 6), the
+// E-MGARD learned per-level bound (Eq. 7), or a fixed plane assignment from
+// D-MGARD can all drive the same size interpreter.
+package retrieval
+
+import (
+	"fmt"
+	"math"
+)
+
+// LevelInfo describes one encoded coefficient level to the planner.
+type LevelInfo struct {
+	// ErrMatrix[b] is the max abs coefficient error after retrieving the
+	// first b planes (len = planes+1).
+	ErrMatrix []float64
+	// PlaneSizes[k] is the stored (compressed) size in bytes of plane k
+	// (len = planes).
+	PlaneSizes []int64
+}
+
+func (li LevelInfo) planes() int { return len(li.PlaneSizes) }
+
+func (li LevelInfo) validate() error {
+	if len(li.ErrMatrix) != len(li.PlaneSizes)+1 {
+		return fmt.Errorf("retrieval: ErrMatrix length %d does not match %d planes",
+			len(li.ErrMatrix), len(li.PlaneSizes))
+	}
+	for k, s := range li.PlaneSizes {
+		if s < 0 {
+			return fmt.Errorf("retrieval: negative plane size at plane %d", k)
+		}
+	}
+	return nil
+}
+
+// ErrorEstimator maps the per-level truncation errors Err[l][b_l] to an
+// estimate of (an upper bound on) the reconstruction max error.
+type ErrorEstimator interface {
+	// Estimate returns the estimated max reconstruction error when level l
+	// is truncated with max coefficient error levelErrs[l].
+	Estimate(levelErrs []float64) float64
+}
+
+// TheoryEstimator is the original MGARD bound of Eq. 6: err ≤ C·Σ_l Err_l,
+// with a single mesh-derived constant C applied to every level. It ignores
+// sign cancellation between coefficient errors, which is exactly the
+// over-pessimism the paper attacks.
+type TheoryEstimator struct {
+	// C is the mesh-derived mapping constant.
+	C float64
+}
+
+// Estimate implements ErrorEstimator.
+func (t TheoryEstimator) Estimate(levelErrs []float64) float64 {
+	sum := 0.0
+	for _, e := range levelErrs {
+		sum += e
+	}
+	return t.C * sum
+}
+
+// PerLevelEstimator is the E-MGARD bound of Eq. 7: err ≤ Σ_l C_l·Err_l with
+// a learned constant per level.
+type PerLevelEstimator struct {
+	// C[l] is the learned mapping constant for level l.
+	C []float64
+}
+
+// Estimate implements ErrorEstimator.
+func (p PerLevelEstimator) Estimate(levelErrs []float64) float64 {
+	if len(levelErrs) != len(p.C) {
+		panic(fmt.Sprintf("retrieval: estimator has %d constants, got %d levels", len(p.C), len(levelErrs)))
+	}
+	sum := 0.0
+	for l, e := range levelErrs {
+		sum += p.C[l] * e
+	}
+	return sum
+}
+
+// Plan is a retrieval decision: how many planes to fetch per level and what
+// it costs.
+type Plan struct {
+	// Planes[l] is b_l, the number of bit-planes to retrieve from level l.
+	Planes []int
+	// BytesPerLevel[l] is the retrieval size contributed by level l.
+	BytesPerLevel []int64
+	// Bytes is the total retrieval size D of Eq. 1.
+	Bytes int64
+	// EstimatedError is the estimator's bound at the chosen plane counts.
+	EstimatedError float64
+}
+
+// PlanForPlanes runs the size interpreter for a fixed plane assignment —
+// the D-MGARD path, where a model predicts b_l directly.
+func PlanForPlanes(levels []LevelInfo, planes []int) (Plan, error) {
+	if len(planes) != len(levels) {
+		return Plan{}, fmt.Errorf("retrieval: %d plane counts for %d levels", len(planes), len(levels))
+	}
+	p := Plan{
+		Planes:        append([]int(nil), planes...),
+		BytesPerLevel: make([]int64, len(levels)),
+	}
+	for l, li := range levels {
+		if err := li.validate(); err != nil {
+			return Plan{}, err
+		}
+		b := planes[l]
+		if b < 0 || b > li.planes() {
+			return Plan{}, fmt.Errorf("retrieval: level %d plane count %d out of range [0,%d]", l, b, li.planes())
+		}
+		for k := 0; k < b; k++ {
+			p.BytesPerLevel[l] += li.PlaneSizes[k]
+		}
+		p.Bytes += p.BytesPerLevel[l]
+	}
+	return p, nil
+}
+
+// Step is one extension of the greedy search path: the state after
+// fetching one more plane prefix.
+type Step struct {
+	// Level is the level that was extended.
+	Level int
+	// Planes is the per-level plane-count snapshot after the extension.
+	Planes []int
+	// Bytes is the cumulative retrieval size after the extension.
+	Bytes int64
+	// LevelErrs[l] is Err[l][b_l] after the extension.
+	LevelErrs []float64
+}
+
+// GreedySequence returns the complete greedy accuracy-efficiency extension
+// path, from zero planes to exhaustion, independent of any tolerance or
+// estimator. The path is what MGARD's retriever walks; planners stop along
+// it when their error estimate clears the tolerance, and the experiments
+// use the full path to compute oracle (ideal) retrieval costs.
+func GreedySequence(levels []LevelInfo) ([]Step, error) {
+	L := len(levels)
+	for _, li := range levels {
+		if err := li.validate(); err != nil {
+			return nil, err
+		}
+	}
+	planes := make([]int, L)
+	errs := make([]float64, L)
+	var bytes int64
+	for l, li := range levels {
+		errs[l] = li.ErrMatrix[0]
+	}
+	// Nega-binary prefixes overshoot before they converge: decoding only
+	// the top plane of a large coefficient yields a huge value, so
+	// Err[b] can exceed Err[0] for b up to ~3 (the partial sums of a
+	// base -2 expansion oscillate within (2/3)·2^(E+2-b) of the target).
+	// A four-plane lookahead always sees past the overshoot window, so a
+	// level with real error left is never starved.
+	const lookahead = 4
+	var steps []Step
+	for {
+		// Candidate extensions: add 1..lookahead planes on one level and
+		// keep the best error-reduction-per-byte.
+		bestLevel, bestStep := -1, 0
+		bestEff := 0.0
+		for l, li := range levels {
+			for step := 1; step <= lookahead; step++ {
+				b := planes[l] + step
+				if b > li.planes() {
+					continue
+				}
+				reduction := errs[l] - li.ErrMatrix[b]
+				if reduction <= 0 {
+					continue
+				}
+				size := int64(0)
+				for k := planes[l]; k < b; k++ {
+					size += li.PlaneSizes[k]
+				}
+				var eff float64
+				if size == 0 {
+					eff = math.Inf(1)
+				} else {
+					eff = reduction / float64(size)
+				}
+				if eff > bestEff {
+					bestEff, bestLevel, bestStep = eff, l, step
+				}
+			}
+		}
+		if bestLevel < 0 {
+			// No extension reduces error: fall back to refining the level
+			// with the largest residual so the path always progresses.
+			maxErr := 0.0
+			for l, li := range levels {
+				if planes[l] < li.planes() && errs[l] > maxErr {
+					maxErr, bestLevel, bestStep = errs[l], l, 1
+				}
+			}
+			if bestLevel < 0 {
+				return steps, nil // everything exhausted
+			}
+		}
+		for k := planes[bestLevel]; k < planes[bestLevel]+bestStep; k++ {
+			bytes += levels[bestLevel].PlaneSizes[k]
+		}
+		planes[bestLevel] += bestStep
+		errs[bestLevel] = levels[bestLevel].ErrMatrix[planes[bestLevel]]
+		steps = append(steps, Step{
+			Level:     bestLevel,
+			Planes:    append([]int(nil), planes...),
+			Bytes:     bytes,
+			LevelErrs: append([]float64(nil), errs...),
+		})
+	}
+}
+
+// RefinePlan starts from an initial plane assignment (typically a D-MGARD
+// prediction) and adjusts it until the estimator's bound sits at the
+// tolerance: greedy accuracy-efficiency extensions while the estimate is
+// above tol, then a cheap-first shrink pass that drops planes as long as
+// the estimate stays within shrinkSlack·tol. This realizes the paper's
+// future-work combination of the two models (§IV-E): D-MGARD proposes,
+// E-MGARD's learned estimator verifies and corrects.
+//
+// shrinkSlack in (0,1] trades savings against bound violations: a learned
+// estimator is unbiased rather than conservative, so shrinking all the way
+// to the tolerance (slack 1) violates the bound about half the time;
+// slack ~0.5 sheds only clearly-unneeded planes. 0 disables shrinking.
+func RefinePlan(levels []LevelInfo, start []int, est ErrorEstimator, tol, shrinkSlack float64) (Plan, error) {
+	if tol <= 0 || math.IsNaN(tol) {
+		return Plan{}, fmt.Errorf("retrieval: tolerance %g must be positive", tol)
+	}
+	if shrinkSlack < 0 || shrinkSlack > 1 || math.IsNaN(shrinkSlack) {
+		return Plan{}, fmt.Errorf("retrieval: shrinkSlack %g out of [0,1]", shrinkSlack)
+	}
+	if len(start) != len(levels) {
+		return Plan{}, fmt.Errorf("retrieval: start has %d levels, want %d", len(start), len(levels))
+	}
+	planes := make([]int, len(levels))
+	errs := make([]float64, len(levels))
+	for l, li := range levels {
+		if err := li.validate(); err != nil {
+			return Plan{}, err
+		}
+		b := start[l]
+		if b < 0 || b > li.planes() {
+			return Plan{}, fmt.Errorf("retrieval: start level %d plane count %d out of range", l, b)
+		}
+		planes[l] = b
+		errs[l] = li.ErrMatrix[b]
+	}
+
+	// Extend while the estimate misses the tolerance.
+	const lookahead = 4
+	for est.Estimate(errs) > tol {
+		bestLevel, bestStep := -1, 0
+		bestEff := 0.0
+		for l, li := range levels {
+			for step := 1; step <= lookahead; step++ {
+				b := planes[l] + step
+				if b > li.planes() {
+					continue
+				}
+				reduction := errs[l] - li.ErrMatrix[b]
+				if reduction <= 0 {
+					continue
+				}
+				size := int64(0)
+				for k := planes[l]; k < b; k++ {
+					size += li.PlaneSizes[k]
+				}
+				var eff float64
+				if size == 0 {
+					eff = math.Inf(1)
+				} else {
+					eff = reduction / float64(size)
+				}
+				if eff > bestEff {
+					bestEff, bestLevel, bestStep = eff, l, step
+				}
+			}
+		}
+		if bestLevel < 0 {
+			maxErr := 0.0
+			for l, li := range levels {
+				if planes[l] < li.planes() && errs[l] > maxErr {
+					maxErr, bestLevel, bestStep = errs[l], l, 1
+				}
+			}
+			if bestLevel < 0 {
+				break
+			}
+		}
+		planes[bestLevel] += bestStep
+		errs[bestLevel] = levels[bestLevel].ErrMatrix[planes[bestLevel]]
+	}
+
+	// Shrink: drop the plane freeing the most bytes while the estimate
+	// stays safely inside the tolerance.
+	shrinkTol := tol * shrinkSlack
+	for shrinkSlack > 0 {
+		bestLevel := -1
+		var bestSave int64 = -1
+		for l, li := range levels {
+			if planes[l] == 0 {
+				continue
+			}
+			old := errs[l]
+			errs[l] = li.ErrMatrix[planes[l]-1]
+			if est.Estimate(errs) <= shrinkTol {
+				if save := li.PlaneSizes[planes[l]-1]; save > bestSave {
+					bestSave, bestLevel = save, l
+				}
+			}
+			errs[l] = old
+		}
+		if bestLevel < 0 {
+			break
+		}
+		planes[bestLevel]--
+		errs[bestLevel] = levels[bestLevel].ErrMatrix[planes[bestLevel]]
+	}
+
+	plan, err := PlanForPlanes(levels, planes)
+	if err != nil {
+		return Plan{}, err
+	}
+	plan.EstimatedError = est.Estimate(errs)
+	return plan, nil
+}
+
+// GreedyPlan chooses plane counts by MGARD's greedy accuracy-efficiency
+// search: starting from zero planes everywhere, it repeatedly fetches the
+// plane prefix with the best error-reduction-per-byte until the estimator's
+// bound drops to the tolerance (§II-C, Fig. 5 discussion). tol must be
+// positive.
+func GreedyPlan(levels []LevelInfo, est ErrorEstimator, tol float64) (Plan, error) {
+	if tol <= 0 || math.IsNaN(tol) {
+		return Plan{}, fmt.Errorf("retrieval: tolerance %g must be positive", tol)
+	}
+	steps, err := GreedySequence(levels)
+	if err != nil {
+		return Plan{}, err
+	}
+	planes := make([]int, len(levels))
+	errs := make([]float64, len(levels))
+	for l, li := range levels {
+		errs[l] = li.ErrMatrix[0]
+	}
+	for _, s := range steps {
+		if est.Estimate(errs) <= tol {
+			break
+		}
+		planes = s.Planes
+		errs = s.LevelErrs
+	}
+	plan, err := PlanForPlanes(levels, planes)
+	if err != nil {
+		return Plan{}, err
+	}
+	plan.EstimatedError = est.Estimate(errs)
+	return plan, nil
+}

@@ -1,0 +1,148 @@
+package grayscott
+
+import (
+	"testing"
+
+	"pmgard/internal/grid"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{N: 2, Du: 0.1, Dv: 0.1, Dt: 0.5, SubSteps: 1},
+		{N: 16, Du: 0, Dv: 0.1, Dt: 0.5, SubSteps: 1},
+		{N: 16, Du: 0.1, Dv: 0.1, Dt: 0, SubSteps: 1},
+		{N: 16, Du: 0.5, Dv: 0.1, Dt: 1, SubSteps: 1}, // unstable
+		{N: 16, Du: 0.1, Dv: 0.1, Dt: 0.5, SubSteps: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, c)
+		}
+	}
+	if err := DefaultConfig(16).Validate(); err != nil {
+		t.Fatalf("DefaultConfig invalid: %v", err)
+	}
+}
+
+func TestInitialCondition(t *testing.T) {
+	cfg := DefaultConfig(16)
+	cfg.Warmup = 0
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, v := s.FieldU(), s.FieldV()
+	// Outside the seed block, u = 1 and v = 0.
+	if u.At(0, 0, 0) != 1 || v.At(0, 0, 0) != 0 {
+		t.Fatalf("corner (u,v) = (%g,%g), want (1,0)", u.At(0, 0, 0), v.At(0, 0, 0))
+	}
+	// The center block is perturbed.
+	if v.At(8, 8, 8) == 0 {
+		t.Fatal("center v = 0, want seeded perturbation")
+	}
+}
+
+func TestWarmupDevelopsPattern(t *testing.T) {
+	// With the default warmup, the fields must carry developed structure
+	// rather than the raw seed block: every corner differs from 1/0 and the
+	// v field spans a meaningful range.
+	s, err := New(DefaultConfig(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := s.FieldV()
+	if v.Range() < 0.01 {
+		t.Fatalf("v range %g after warmup, want developed pattern", v.Range())
+	}
+	if err := (Config{N: 8, Du: 0.1, Dv: 0.05, F: 0.02, K: 0.05, Dt: 1, SubSteps: 1, Warmup: -1}).Validate(); err == nil {
+		t.Fatal("negative warmup accepted")
+	}
+}
+
+func TestFieldsStayBoundedAndEvolve(t *testing.T) {
+	s, err := New(DefaultConfig(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u0 := s.FieldU()
+	for i := 0; i < 10; i++ {
+		s.Step()
+	}
+	u, v := s.FieldU(), s.FieldV()
+	for _, f := range []*grid.Tensor{u, v} {
+		mn, mx := f.MinMax()
+		if mn < -0.5 || mx > 1.5 {
+			t.Fatalf("field escaped physical bounds: [%g, %g]", mn, mx)
+		}
+	}
+	if grid.MaxAbsDiff(u0, u) == 0 {
+		t.Fatal("field did not evolve after 10 steps")
+	}
+	if s.Timestep() != 10 {
+		t.Fatalf("Timestep = %d, want 10", s.Timestep())
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() *grid.Tensor {
+		s, err := New(DefaultConfig(12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			s.Step()
+		}
+		return s.FieldV()
+	}
+	a, b := run(), run()
+	if grid.MaxAbsDiff(a, b) != 0 {
+		t.Fatal("simulation not deterministic")
+	}
+}
+
+func TestFieldAccessors(t *testing.T) {
+	s, err := New(DefaultConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range FieldNames() {
+		f, err := s.Field(name)
+		if err != nil {
+			t.Fatalf("Field(%q): %v", name, err)
+		}
+		if f.Len() != 512 {
+			t.Fatalf("Field(%q) has %d elements, want 512", name, f.Len())
+		}
+	}
+	if _, err := s.Field("Ex"); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestFieldCopiesAreIndependent(t *testing.T) {
+	s, err := New(DefaultConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := s.FieldU()
+	u.Fill(99)
+	if s.FieldU().At(0, 0, 0) == 99 {
+		t.Fatal("FieldU returned internal storage")
+	}
+}
+
+func TestMassConservationTendency(t *testing.T) {
+	// With F>0 the system feeds u; total v should stay finite and not
+	// blow up over a longer run (stability smoke test).
+	cfg := DefaultConfig(12)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		s.Step()
+	}
+	if mx := s.FieldV().LinfNorm(); mx > 1.0 {
+		t.Fatalf("v reached %g after 50 steps, expect < 1.0", mx)
+	}
+}

@@ -1,0 +1,135 @@
+package warpx
+
+import (
+	"math"
+	"testing"
+
+	"pmgard/internal/grid"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Dims: []int{16, 16}, A0: 1, Density: 1, Duration: 0.1},
+		{Dims: []int{2, 16, 16}, A0: 1, Density: 1, Duration: 0.1},
+		{Dims: []int{16, 16, 16}, A0: 0, Density: 1, Duration: 0.1},
+		{Dims: []int{16, 16, 16}, A0: 1, Density: 0, Duration: 0.1},
+		{Dims: []int{16, 16, 16}, A0: 1, Density: 1, Duration: 0},
+		{Dims: []int{16, 16, 16}, A0: 1, Density: 1, Duration: 2},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, c)
+		}
+	}
+	if err := DefaultConfig(16, 16, 16).Validate(); err != nil {
+		t.Fatalf("DefaultConfig invalid: %v", err)
+	}
+}
+
+func TestFieldGeneration(t *testing.T) {
+	cfg := DefaultConfig(16, 12, 12)
+	for _, name := range FieldNames() {
+		f, err := cfg.Field(name, 10)
+		if err != nil {
+			t.Fatalf("Field(%q): %v", name, err)
+		}
+		if got := f.Dims(); got[0] != 16 || got[1] != 12 || got[2] != 12 {
+			t.Fatalf("Field(%q) dims = %v", name, got)
+		}
+		if f.LinfNorm() == 0 {
+			t.Fatalf("Field(%q) is identically zero", name)
+		}
+		for _, v := range f.Data() {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("Field(%q) contains non-finite values", name)
+			}
+		}
+	}
+	if _, err := cfg.Field("Du", 0); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	cfg := DefaultConfig(16, 8, 8)
+	a, err := cfg.Field("Jx", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := cfg.Field("Jx", 32)
+	if grid.MaxAbsDiff(a, b) != 0 {
+		t.Fatal("field generation not deterministic")
+	}
+}
+
+func TestFieldsEvolveOverTime(t *testing.T) {
+	cfg := DefaultConfig(16, 8, 8)
+	a, _ := cfg.Field("Ex", 0)
+	b, _ := cfg.Field("Ex", 50)
+	if grid.MaxAbsDiff(a, b) == 0 {
+		t.Fatal("field identical at t=0 and t=50")
+	}
+}
+
+func TestAmplitudeScalesWithA0(t *testing.T) {
+	lo := DefaultConfig(24, 8, 8)
+	lo.A0 = 1
+	hi := lo
+	hi.A0 = 6
+	fl, _ := lo.Field("Ex", 40)
+	fh, _ := hi.Field("Ex", 40)
+	if fh.LinfNorm() <= fl.LinfNorm() {
+		t.Fatalf("higher a0 gave weaker wake: %g vs %g", fh.LinfNorm(), fl.LinfNorm())
+	}
+}
+
+func TestDensityChangesWakeStructure(t *testing.T) {
+	// Different electron densities should change the wake wavelength, so
+	// the fields differ substantially (Fig. 3d premise).
+	a := DefaultConfig(32, 8, 8)
+	a.Density = 0.5
+	b := DefaultConfig(32, 8, 8)
+	b.Density = 2.0
+	fa, _ := a.Field("Jx", 40)
+	fb, _ := b.Field("Jx", 40)
+	diff := grid.MaxAbsDiff(fa, fb)
+	if diff < 0.01*fb.LinfNorm() {
+		t.Fatalf("density change barely affected field: diff %g vs norm %g", diff, fb.LinfNorm())
+	}
+}
+
+func TestDurationChangesEnvelope(t *testing.T) {
+	short := DefaultConfig(32, 8, 8)
+	short.Duration = 0.03
+	long := DefaultConfig(32, 8, 8)
+	long.Duration = 0.3
+	fs, _ := short.Field("Bx", 20)
+	fl, _ := long.Field("Bx", 20)
+	// A longer pulse spreads laser energy over more of the axis: count
+	// axial positions with significant |Bx|.
+	active := func(f *grid.Tensor) int {
+		thresh := f.LinfNorm() * 0.05
+		count := 0
+		dims := f.Dims()
+		for i := 0; i < dims[0]; i++ {
+			if math.Abs(f.At(i, dims[1]/2, dims[2]/2)) > thresh {
+				count++
+			}
+		}
+		return count
+	}
+	if active(fl) <= active(fs) {
+		t.Fatalf("long pulse active extent %d not larger than short %d", active(fl), active(fs))
+	}
+}
+
+func TestSeedChangesFluctuations(t *testing.T) {
+	a := DefaultConfig(16, 8, 8)
+	b := DefaultConfig(16, 8, 8)
+	b.Seed = 1234
+	fa, _ := a.Field("Ex", 30)
+	fb, _ := b.Field("Ex", 30)
+	if grid.MaxAbsDiff(fa, fb) == 0 {
+		t.Fatal("seed change had no effect")
+	}
+}

@@ -1,0 +1,52 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzOpen ensures arbitrary bytes never panic the store parser: any input
+// either opens cleanly (and all advertised segments read back without
+// panicking) or is rejected with an error.
+func FuzzOpen(f *testing.F) {
+	// Seed with a valid store and a few mutations.
+	dir := f.TempDir()
+	path := filepath.Join(dir, "seed.pmgd")
+	w, err := Create(path, []byte(`{"f":"x"}`))
+	if err != nil {
+		f.Fatal(err)
+	}
+	w.WriteSegment(SegmentID{Level: 0, Plane: 0}, []byte("hello"))
+	w.WriteSegment(SegmentID{Level: 1, Plane: 3}, []byte{1, 2, 3})
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte("PMGD"))
+	f.Add([]byte{})
+	truncated := append([]byte(nil), valid[:len(valid)/2]...)
+	f.Add(truncated)
+	flipped := append([]byte(nil), valid...)
+	flipped[8] ^= 0xFF
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := filepath.Join(t.TempDir(), "fuzz.pmgd")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Skip()
+		}
+		st, err := Open(p)
+		if err != nil {
+			return // rejected cleanly
+		}
+		defer st.Close()
+		for _, id := range st.Segments() {
+			st.ReadSegment(id) // must not panic; errors are fine
+		}
+	})
+}

@@ -1,0 +1,308 @@
+package storage
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDefaultHierarchyPlacement(t *testing.T) {
+	h, err := DefaultHierarchy(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Placement[0] != 0 {
+		t.Fatalf("level 0 placed on tier %d, want fastest tier 0", h.Placement[0])
+	}
+	if got, want := h.Placement[4], len(h.Tiers)-1; got != want {
+		t.Fatalf("finest level placed on tier %d, want slowest tier %d", got, want)
+	}
+	for l := 1; l < len(h.Placement); l++ {
+		if h.Placement[l] < h.Placement[l-1] {
+			t.Fatalf("placement not monotone: %v", h.Placement)
+		}
+	}
+}
+
+func TestDefaultHierarchySingleLevel(t *testing.T) {
+	h, err := DefaultHierarchy(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Placement[0] != 0 {
+		t.Fatal("single level should sit on the fastest tier")
+	}
+	if _, err := DefaultHierarchy(0); err == nil {
+		t.Fatal("DefaultHierarchy(0) should fail")
+	}
+}
+
+func TestHierarchyValidate(t *testing.T) {
+	bad := []Hierarchy{
+		{},
+		{Tiers: []Tier{{Name: "x", Bandwidth: 0}}},
+		{Tiers: []Tier{{Name: "x", Bandwidth: 1, Latency: -1}}},
+		{Tiers: []Tier{{Name: "x", Bandwidth: 1}}, Placement: []int{1}},
+	}
+	for i, h := range bad {
+		if err := h.Validate(); err == nil {
+			t.Errorf("case %d: Validate passed, want error", i)
+		}
+	}
+}
+
+func TestReadTimeModel(t *testing.T) {
+	h := Hierarchy{
+		Tiers:     []Tier{{Name: "t", Latency: 2, Bandwidth: 100}},
+		Placement: []int{0},
+	}
+	got, err := h.ReadTime(0, 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3*2.0 + 5.0; got != want {
+		t.Fatalf("ReadTime = %v, want %v", got, want)
+	}
+	// Zero work costs nothing.
+	if z, _ := h.ReadTime(0, 0, 0); z != 0 {
+		t.Fatalf("zero plan time = %v", z)
+	}
+	// Bytes with no explicit request count pays one latency.
+	if one, _ := h.ReadTime(0, 100, 0); one != 2+1 {
+		t.Fatalf("implicit single request time = %v, want 3", one)
+	}
+	if _, err := h.ReadTime(5, 1, 1); err == nil {
+		t.Fatal("out-of-range level accepted")
+	}
+}
+
+func TestPlanTime(t *testing.T) {
+	h, _ := DefaultHierarchy(3)
+	total, err := h.PlanTime([]int64{1000, 2000, 3000}, []int{1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for l, b := range []int64{1000, 2000, 3000} {
+		tl, _ := h.ReadTime(l, b, []int{1, 1, 2}[l])
+		sum += tl
+	}
+	if total != sum {
+		t.Fatalf("PlanTime = %v, want %v", total, sum)
+	}
+	if _, err := h.PlanTime([]int64{1}, []int{1, 2}); err == nil {
+		t.Fatal("mismatched plan arrays accepted")
+	}
+}
+
+func TestSlowerTiersCostMore(t *testing.T) {
+	h, _ := DefaultHierarchy(4)
+	fast, _ := h.ReadTime(0, 1<<20, 1)
+	slow, _ := h.ReadTime(3, 1<<20, 1)
+	if slow <= fast {
+		t.Fatalf("slow tier read (%v) not slower than fast tier (%v)", slow, fast)
+	}
+}
+
+func writeTestStore(t *testing.T, meta []byte, segs map[SegmentID][]byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "field.pmgd")
+	w, err := Create(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, payload := range segs {
+		if err := w.WriteSegment(id, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSegmentStoreRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	meta := []byte(`{"field":"Jx"}`)
+	segs := make(map[SegmentID][]byte)
+	for l := 0; l < 3; l++ {
+		for p := 0; p < 4; p++ {
+			payload := make([]byte, 10+rng.Intn(100))
+			rng.Read(payload)
+			segs[SegmentID{Level: l, Plane: p}] = payload
+		}
+	}
+	path := writeTestStore(t, meta, segs)
+
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if !bytes.Equal(st.Meta(), meta) {
+		t.Fatal("metadata mismatch")
+	}
+	if len(st.Segments()) != len(segs) {
+		t.Fatalf("segment count %d, want %d", len(st.Segments()), len(segs))
+	}
+	for id, want := range segs {
+		got, err := st.ReadSegment(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("segment %+v payload mismatch", id)
+		}
+		sz, err := st.SegmentSize(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sz != int64(len(want)) {
+			t.Fatalf("segment %+v size %d, want %d", id, sz, len(want))
+		}
+	}
+}
+
+func TestSegmentStoreAccounting(t *testing.T) {
+	segs := map[SegmentID][]byte{
+		{Level: 0, Plane: 0}: make([]byte, 100),
+		{Level: 0, Plane: 1}: make([]byte, 50),
+	}
+	st, err := Open(writeTestStore(t, nil, segs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.BytesRead() != 0 || st.Requests() != 0 {
+		t.Fatal("fresh store has non-zero counters")
+	}
+	st.ReadSegment(SegmentID{Level: 0, Plane: 0})
+	st.ReadSegment(SegmentID{Level: 0, Plane: 1})
+	if st.BytesRead() != 150 || st.Requests() != 2 {
+		t.Fatalf("counters = (%d bytes, %d reqs), want (150, 2)", st.BytesRead(), st.Requests())
+	}
+	st.ResetCounters()
+	if st.BytesRead() != 0 || st.Requests() != 0 {
+		t.Fatal("ResetCounters did not reset")
+	}
+}
+
+func TestSegmentStoreMissingSegment(t *testing.T) {
+	st, err := Open(writeTestStore(t, nil, map[SegmentID][]byte{{Level: 0, Plane: 0}: {1}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.ReadSegment(SegmentID{Level: 9, Plane: 9}); err == nil {
+		t.Fatal("missing segment read succeeded")
+	}
+	if _, err := st.SegmentSize(SegmentID{Level: 9, Plane: 9}); err == nil {
+		t.Fatal("missing segment size succeeded")
+	}
+}
+
+func TestWriterRejectsDuplicatesAndBadIDs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dup.pmgd")
+	w, err := Create(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := SegmentID{Level: 1, Plane: 2}
+	if err := w.WriteSegment(id, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSegment(id, []byte{2}); err == nil {
+		t.Fatal("duplicate segment accepted")
+	}
+	if err := w.WriteSegment(SegmentID{Level: -1}, nil); err == nil {
+		t.Fatal("negative level accepted")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSegment(SegmentID{Level: 2, Plane: 0}, nil); err == nil {
+		t.Fatal("write after close accepted")
+	}
+}
+
+func TestOpenRejectsCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	// Truncated file.
+	short := filepath.Join(dir, "short.pmgd")
+	os.WriteFile(short, []byte("PM"), 0o644)
+	if _, err := Open(short); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+	// Wrong magic.
+	bad := filepath.Join(dir, "bad.pmgd")
+	os.WriteFile(bad, append([]byte("XXXX"), make([]byte, 16)...), 0o644)
+	if _, err := Open(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Nonexistent file.
+	if _, err := Open(filepath.Join(dir, "missing.pmgd")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestSegmentsLaidOutSequentially(t *testing.T) {
+	// (level, plane) order in the file should match the progressive read
+	// pattern: verify offsets grow with (level, plane).
+	segs := map[SegmentID][]byte{
+		{Level: 1, Plane: 0}: make([]byte, 10),
+		{Level: 0, Plane: 1}: make([]byte, 20),
+		{Level: 0, Plane: 0}: make([]byte, 30),
+		{Level: 1, Plane: 1}: make([]byte, 40),
+	}
+	st, err := Open(writeTestStore(t, nil, segs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	order := []SegmentID{
+		{Level: 0, Plane: 0}, {Level: 0, Plane: 1},
+		{Level: 1, Plane: 0}, {Level: 1, Plane: 1},
+	}
+	prevEnd := int64(-1)
+	for _, id := range order {
+		e := st.segs[id]
+		if int64(e.offset) <= prevEnd {
+			t.Fatalf("segment %+v at offset %d not after previous end %d", id, e.offset, prevEnd)
+		}
+		prevEnd = int64(e.offset)
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	segs := map[SegmentID][]byte{
+		{Level: 0, Plane: 0}: []byte("payload-zero"),
+		{Level: 0, Plane: 1}: []byte("payload-one!"),
+	}
+	path := writeTestStore(t, nil, segs)
+	// Flip one byte inside the last segment's payload region.
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)-3] ^= 0x01
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	// One of the two segments must fail its CRC.
+	_, err0 := st.ReadSegment(SegmentID{Level: 0, Plane: 0})
+	_, err1 := st.ReadSegment(SegmentID{Level: 0, Plane: 1})
+	if err0 == nil && err1 == nil {
+		t.Fatal("payload corruption not detected by checksums")
+	}
+}

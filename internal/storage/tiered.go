@@ -1,0 +1,286 @@
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// TieredWriter materializes the paper's storage-hierarchy placement: each
+// coefficient level's segments go to the directory of its assigned tier
+// (e.g. nvme/, ssd/, hdd/, tape/), one file per level holding its plane
+// segments contiguously. A manifest at the root records the placement and
+// the shared metadata blob.
+type TieredWriter struct {
+	root      string
+	hierarchy Hierarchy
+	meta      []byte
+	// perLevel[l] collects (plane, payload) pairs until Close.
+	perLevel map[int][]tieredSeg
+	closed   bool
+}
+
+type tieredSeg struct {
+	plane   int
+	payload []byte
+}
+
+// tieredManifest is the JSON manifest of a tiered store.
+type tieredManifest struct {
+	Version   int      `json:"version"`
+	TierNames []string `json:"tier_names"`
+	Placement []int    `json:"placement"`
+	Meta      []byte   `json:"meta"`
+	// Levels[l] lists the plane sizes of level l, in plane order.
+	Levels [][]int64 `json:"levels"`
+}
+
+// CreateTiered starts a tiered store rooted at dir with the given hierarchy
+// and opaque metadata.
+func CreateTiered(dir string, h Hierarchy, meta []byte) (*TieredWriter, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	if len(h.Placement) == 0 {
+		return nil, fmt.Errorf("storage: tiered store needs a level placement")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create %s: %w", dir, err)
+	}
+	return &TieredWriter{
+		root:      dir,
+		hierarchy: h,
+		meta:      meta,
+		perLevel:  make(map[int][]tieredSeg),
+	}, nil
+}
+
+// WriteSegment buffers one (level, plane) payload. Planes of a level must
+// be written in increasing plane order.
+func (w *TieredWriter) WriteSegment(id SegmentID, payload []byte) error {
+	if w.closed {
+		return fmt.Errorf("storage: write to closed tiered writer")
+	}
+	if id.Level < 0 || id.Level >= len(w.hierarchy.Placement) {
+		return fmt.Errorf("storage: level %d outside placement of %d levels", id.Level, len(w.hierarchy.Placement))
+	}
+	segs := w.perLevel[id.Level]
+	if len(segs) > 0 && segs[len(segs)-1].plane >= id.Plane {
+		return fmt.Errorf("storage: level %d planes must be written in order (got %d after %d)",
+			id.Level, id.Plane, segs[len(segs)-1].plane)
+	}
+	w.perLevel[id.Level] = append(segs, tieredSeg{plane: id.Plane, payload: payload})
+	return nil
+}
+
+// Close writes the per-tier level files and the manifest.
+func (w *TieredWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	man := tieredManifest{
+		Version:   1,
+		Placement: w.hierarchy.Placement,
+		Meta:      w.meta,
+		Levels:    make([][]int64, len(w.hierarchy.Placement)),
+	}
+	for _, t := range w.hierarchy.Tiers {
+		man.TierNames = append(man.TierNames, t.Name)
+	}
+	for l := 0; l < len(w.hierarchy.Placement); l++ {
+		tierName := w.hierarchy.Tiers[w.hierarchy.Placement[l]].Name
+		dir := filepath.Join(w.root, tierName)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("storage: create tier dir: %w", err)
+		}
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("level_%d.seg", l)))
+		if err != nil {
+			return fmt.Errorf("storage: create level file: %w", err)
+		}
+		segs := w.perLevel[l]
+		var sizes []int64
+		for _, s := range segs {
+			// Pad skipped plane ids with zero-length entries so plane k is
+			// always entry k.
+			for len(sizes) < s.plane {
+				sizes = append(sizes, 0)
+			}
+			if _, err := f.Write(s.payload); err != nil {
+				f.Close()
+				return fmt.Errorf("storage: write level %d: %w", l, err)
+			}
+			sizes = append(sizes, int64(len(s.payload)))
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		man.Levels[l] = sizes
+	}
+	blob, err := json.Marshal(man)
+	if err != nil {
+		return fmt.Errorf("storage: marshal manifest: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(w.root, "manifest.json"), blob, 0o644); err != nil {
+		return fmt.Errorf("storage: write manifest: %w", err)
+	}
+	return nil
+}
+
+// TieredStore reads segments from a tiered store directory with per-tier
+// I/O accounting.
+type TieredStore struct {
+	root string
+	man  tieredManifest
+	// offsets[l][k] is the byte offset of plane k within level l's file.
+	offsets [][]int64
+	files   map[int]*os.File
+
+	mu        sync.Mutex
+	tierBytes map[string]int64
+	tierReqs  map[string]int64
+}
+
+// OpenTiered opens a tiered store directory.
+func OpenTiered(dir string) (*TieredStore, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, fmt.Errorf("storage: read manifest: %w", err)
+	}
+	var man tieredManifest
+	if err := json.Unmarshal(blob, &man); err != nil {
+		return nil, fmt.Errorf("storage: parse manifest: %w", err)
+	}
+	if man.Version != 1 {
+		return nil, fmt.Errorf("storage: unsupported tiered version %d", man.Version)
+	}
+	if len(man.Placement) != len(man.Levels) {
+		return nil, fmt.Errorf("storage: manifest placement/levels mismatch")
+	}
+	st := &TieredStore{
+		root:      dir,
+		man:       man,
+		files:     make(map[int]*os.File),
+		tierBytes: make(map[string]int64),
+		tierReqs:  make(map[string]int64),
+	}
+	st.offsets = make([][]int64, len(man.Levels))
+	for l, sizes := range man.Levels {
+		offs := make([]int64, len(sizes))
+		var off int64
+		for k, sz := range sizes {
+			if sz < 0 || off > (1<<50)-sz {
+				return nil, fmt.Errorf("storage: manifest level %d has implausible sizes", l)
+			}
+			offs[k] = off
+			off += sz
+		}
+		st.offsets[l] = offs
+	}
+	return st, nil
+}
+
+// Meta returns the opaque metadata blob.
+func (s *TieredStore) Meta() []byte { return s.man.Meta }
+
+// TierOf returns the tier name holding level l.
+func (s *TieredStore) TierOf(level int) (string, error) {
+	if level < 0 || level >= len(s.man.Placement) {
+		return "", fmt.Errorf("storage: level %d out of range", level)
+	}
+	ix := s.man.Placement[level]
+	if ix < 0 || ix >= len(s.man.TierNames) {
+		return "", fmt.Errorf("storage: corrupt placement for level %d", level)
+	}
+	return s.man.TierNames[ix], nil
+}
+
+// ReadSegment reads one plane segment with a ranged read from the level's
+// tier file.
+func (s *TieredStore) ReadSegment(id SegmentID) ([]byte, error) {
+	if id.Level < 0 || id.Level >= len(s.man.Levels) {
+		return nil, fmt.Errorf("storage: level %d out of range", id.Level)
+	}
+	sizes := s.man.Levels[id.Level]
+	if id.Plane < 0 || id.Plane >= len(sizes) {
+		return nil, fmt.Errorf("storage: plane %d out of range on level %d", id.Plane, id.Level)
+	}
+	tier, err := s.TierOf(id.Level)
+	if err != nil {
+		return nil, err
+	}
+	f, err := s.levelFile(id.Level, tier)
+	if err != nil {
+		return nil, err
+	}
+	if fi, err := f.Stat(); err == nil {
+		if end := s.offsets[id.Level][id.Plane] + sizes[id.Plane]; end > fi.Size() {
+			return nil, fmt.Errorf("storage: level %d plane %d extends past its tier file", id.Level, id.Plane)
+		}
+	}
+	buf := make([]byte, sizes[id.Plane])
+	if len(buf) > 0 {
+		if _, err := f.ReadAt(buf, s.offsets[id.Level][id.Plane]); err != nil && err != io.EOF {
+			return nil, fmt.Errorf("storage: read level %d plane %d: %w", id.Level, id.Plane, err)
+		}
+	}
+	s.mu.Lock()
+	s.tierBytes[tier] += int64(len(buf))
+	s.tierReqs[tier]++
+	s.mu.Unlock()
+	return buf, nil
+}
+
+func (s *TieredStore) levelFile(level int, tier string) (*os.File, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.files[level]; ok {
+		return f, nil
+	}
+	path := filepath.Join(s.root, tier, fmt.Sprintf("level_%d.seg", level))
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", path, err)
+	}
+	s.files[level] = f
+	return f, nil
+}
+
+// TierBytes returns the payload bytes read from each tier so far.
+func (s *TieredStore) TierBytes() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.tierBytes))
+	for k, v := range s.tierBytes {
+		out[k] = v
+	}
+	return out
+}
+
+// TierRequests returns the ranged-read counts per tier so far.
+func (s *TieredStore) TierRequests() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.tierReqs))
+	for k, v := range s.tierReqs {
+		out[k] = v
+	}
+	return out
+}
+
+// Close releases the tier files.
+func (s *TieredStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, f := range s.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.files = make(map[int]*os.File)
+	return first
+}

@@ -1,0 +1,169 @@
+package storage
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func buildTieredStore(t *testing.T, segs map[SegmentID][]byte) (string, Hierarchy) {
+	t.Helper()
+	h, err := DefaultHierarchy(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "store")
+	w, err := CreateTiered(dir, h, []byte(`{"f":"x"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write planes in order per level.
+	for l := 0; l < 3; l++ {
+		for p := 0; p < 4; p++ {
+			if payload, ok := segs[SegmentID{Level: l, Plane: p}]; ok {
+				if err := w.WriteSegment(SegmentID{Level: l, Plane: p}, payload); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir, h
+}
+
+func TestTieredRoundTrip(t *testing.T) {
+	segs := map[SegmentID][]byte{
+		{Level: 0, Plane: 0}: []byte("aaa"),
+		{Level: 0, Plane: 1}: []byte("bb"),
+		{Level: 1, Plane: 0}: []byte("cccc"),
+		{Level: 2, Plane: 0}: []byte("d"),
+		{Level: 2, Plane: 3}: []byte("eeeee"), // skipped planes 1-2
+	}
+	dir, _ := buildTieredStore(t, segs)
+	st, err := OpenTiered(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if !bytes.Equal(st.Meta(), []byte(`{"f":"x"}`)) {
+		t.Fatal("meta mismatch")
+	}
+	for id, want := range segs {
+		got, err := st.ReadSegment(id)
+		if err != nil {
+			t.Fatalf("%+v: %v", id, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%+v payload mismatch: %q vs %q", id, got, want)
+		}
+	}
+	// Skipped plane reads back empty.
+	if got, err := st.ReadSegment(SegmentID{Level: 2, Plane: 1}); err != nil || len(got) != 0 {
+		t.Fatalf("skipped plane: %v, %q", err, got)
+	}
+}
+
+func TestTieredPlacementOnDisk(t *testing.T) {
+	dir, h := buildTieredStore(t, map[SegmentID][]byte{
+		{Level: 0, Plane: 0}: []byte("x"),
+		{Level: 2, Plane: 0}: []byte("y"),
+	})
+	// Level 0 lives in the fastest tier's directory, level 2 in the slowest.
+	fast := h.Tiers[h.Placement[0]].Name
+	slow := h.Tiers[h.Placement[2]].Name
+	if _, err := os.Stat(filepath.Join(dir, fast, "level_0.seg")); err != nil {
+		t.Fatalf("level 0 not in %s: %v", fast, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, slow, "level_2.seg")); err != nil {
+		t.Fatalf("level 2 not in %s: %v", slow, err)
+	}
+}
+
+func TestTieredPerTierAccounting(t *testing.T) {
+	dir, h := buildTieredStore(t, map[SegmentID][]byte{
+		{Level: 0, Plane: 0}: make([]byte, 100),
+		{Level: 2, Plane: 0}: make([]byte, 7),
+	})
+	st, err := OpenTiered(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	st.ReadSegment(SegmentID{Level: 0, Plane: 0})
+	st.ReadSegment(SegmentID{Level: 2, Plane: 0})
+	st.ReadSegment(SegmentID{Level: 2, Plane: 0})
+	fast := h.Tiers[h.Placement[0]].Name
+	slow := h.Tiers[h.Placement[2]].Name
+	tb, tr := st.TierBytes(), st.TierRequests()
+	if tb[fast] != 100 || tr[fast] != 1 {
+		t.Fatalf("fast tier accounting: %d bytes, %d reqs", tb[fast], tr[fast])
+	}
+	if tb[slow] != 14 || tr[slow] != 2 {
+		t.Fatalf("slow tier accounting: %d bytes, %d reqs", tb[slow], tr[slow])
+	}
+}
+
+func TestTieredWriterValidation(t *testing.T) {
+	h, _ := DefaultHierarchy(2)
+	dir := filepath.Join(t.TempDir(), "s")
+	w, err := CreateTiered(dir, h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSegment(SegmentID{Level: 5, Plane: 0}, nil); err == nil {
+		t.Fatal("out-of-placement level accepted")
+	}
+	if err := w.WriteSegment(SegmentID{Level: 0, Plane: 1}, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSegment(SegmentID{Level: 0, Plane: 0}, []byte("b")); err == nil {
+		t.Fatal("out-of-order plane accepted")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSegment(SegmentID{Level: 0, Plane: 2}, nil); err == nil {
+		t.Fatal("write after close accepted")
+	}
+	// No placement at all is rejected at creation.
+	if _, err := CreateTiered(dir, Hierarchy{Tiers: DefaultTiers()}, nil); err == nil {
+		t.Fatal("hierarchy without placement accepted")
+	}
+}
+
+func TestOpenTieredRejectsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := OpenTiered(dir); err == nil {
+		t.Fatal("missing manifest accepted")
+	}
+	os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("nope"), 0o644)
+	if _, err := OpenTiered(dir); err == nil {
+		t.Fatal("corrupt manifest accepted")
+	}
+	os.WriteFile(filepath.Join(dir, "manifest.json"),
+		[]byte(`{"version":2}`), 0o644)
+	if _, err := OpenTiered(dir); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+}
+
+func TestTieredReadValidation(t *testing.T) {
+	dir, _ := buildTieredStore(t, map[SegmentID][]byte{{Level: 0, Plane: 0}: {1}})
+	st, err := OpenTiered(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.ReadSegment(SegmentID{Level: 9, Plane: 0}); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	if _, err := st.ReadSegment(SegmentID{Level: 0, Plane: 9}); err == nil {
+		t.Fatal("bad plane accepted")
+	}
+	if _, err := st.TierOf(9); err == nil {
+		t.Fatal("TierOf bad level accepted")
+	}
+}

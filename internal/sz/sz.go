@@ -1,0 +1,253 @@
+// Package sz implements a simplified SZ-style error-bounded lossy
+// compressor (Di & Cappello [17], Tao et al. [31]) as a *non-progressive*
+// baseline for the paper's motivation (§I): prediction-based compressors
+// achieve strong ratios at a fixed error bound, but the bound is baked in
+// at compression time — serving users with diverse accuracy needs requires
+// one archive per bound, which is exactly what progressive retrieval
+// removes.
+//
+// The pipeline follows SZ 1.4's structure at reduced sophistication:
+// an N-dimensional Lorenzo predictor over already-reconstructed neighbours,
+// linear quantization of the prediction residual against the absolute error
+// bound, an outlier escape for unpredictable points, and an entropy stage
+// (zigzag varints + DEFLATE standing in for SZ's Huffman+ZSTD).
+//
+// The decompressed data satisfies |rec - orig| ≤ bound for every point —
+// verified by property tests.
+package sz
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"pmgard/internal/grid"
+	"pmgard/internal/lossless"
+)
+
+// quantLimit bounds the quantization codes; residuals beyond it are stored
+// as raw outliers (SZ's "unpredictable data").
+const quantLimit = 1 << 20
+
+// header is the self-describing prefix of a compressed stream.
+type header struct {
+	Dims  []int   `json:"dims"`
+	Bound float64 `json:"bound"`
+	// NOutliers is the number of raw-stored points.
+	NOutliers int `json:"n_outliers"`
+}
+
+// Compress encodes t under the given absolute error bound.
+func Compress(t *grid.Tensor, bound float64) ([]byte, error) {
+	if bound <= 0 || math.IsNaN(bound) || math.IsInf(bound, 0) {
+		return nil, fmt.Errorf("sz: bound %g must be positive and finite", bound)
+	}
+	dims := t.Dims()
+	n := t.Len()
+	data := t.Data()
+
+	// Reconstruction buffer: predictions must use the values the
+	// decompressor will see, or errors compound past the bound.
+	rec := make([]float64, n)
+	codes := make([]int64, 0, n)
+	var outliers []float64
+
+	strides := make([]int, len(dims))
+	s := 1
+	for d := len(dims) - 1; d >= 0; d-- {
+		strides[d] = s
+		s *= dims[d]
+	}
+	idx := make([]int, len(dims))
+	twoEps := 2 * bound
+
+	for flat := 0; flat < n; flat++ {
+		pred := lorenzo(rec, idx, strides)
+		q := math.Round((data[flat] - pred) / twoEps)
+		if math.IsNaN(q) || math.Abs(q) > quantLimit {
+			// Unpredictable: store raw, reconstruct exactly.
+			codes = append(codes, math.MinInt32) // escape marker
+			outliers = append(outliers, data[flat])
+			rec[flat] = data[flat]
+		} else {
+			codes = append(codes, int64(q))
+			rec[flat] = pred + q*twoEps
+		}
+		// Advance row-major multi-index.
+		for d := len(idx) - 1; d >= 0; d-- {
+			idx[d]++
+			if idx[d] < dims[d] {
+				break
+			}
+			idx[d] = 0
+		}
+	}
+
+	// Serialize: JSON header line, varint code stream, raw outliers; then
+	// DEFLATE the payload.
+	var payload bytes.Buffer
+	tmp := make([]byte, binary.MaxVarintLen64)
+	for _, q := range codes {
+		k := binary.PutVarint(tmp, q)
+		payload.Write(tmp[:k])
+	}
+	for _, v := range outliers {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		payload.Write(b[:])
+	}
+	packed, err := lossless.Deflate().Compress(payload.Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("sz: entropy stage: %w", err)
+	}
+
+	head, err := json.Marshal(header{Dims: dims, Bound: bound, NOutliers: len(outliers)})
+	if err != nil {
+		return nil, fmt.Errorf("sz: marshal header: %w", err)
+	}
+	var out bytes.Buffer
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(head)))
+	out.Write(lenBuf[:])
+	out.Write(head)
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(payload.Len()))
+	out.Write(lenBuf[:])
+	out.Write(packed)
+	return out.Bytes(), nil
+}
+
+// Decompress reverses Compress. The result satisfies the bound recorded in
+// the stream.
+func Decompress(blob []byte) (*grid.Tensor, float64, error) {
+	if len(blob) < 8 {
+		return nil, 0, fmt.Errorf("sz: stream too short")
+	}
+	headLen := binary.LittleEndian.Uint32(blob[:4])
+	if int(headLen) > len(blob)-8 {
+		return nil, 0, fmt.Errorf("sz: corrupt header length %d", headLen)
+	}
+	var h header
+	if err := json.Unmarshal(blob[4:4+headLen], &h); err != nil {
+		return nil, 0, fmt.Errorf("sz: parse header: %w", err)
+	}
+	if len(h.Dims) == 0 || h.Bound <= 0 {
+		return nil, 0, fmt.Errorf("sz: invalid header %+v", h)
+	}
+	n := 1
+	for _, d := range h.Dims {
+		if d <= 0 || n > (1<<28)/d {
+			return nil, 0, fmt.Errorf("sz: implausible dims %v", h.Dims)
+		}
+		n *= d
+	}
+	if h.NOutliers < 0 || h.NOutliers > n {
+		return nil, 0, fmt.Errorf("sz: implausible outlier count %d", h.NOutliers)
+	}
+	rest := blob[4+headLen:]
+	if len(rest) < 4 {
+		return nil, 0, fmt.Errorf("sz: truncated payload header")
+	}
+	rawLen := binary.LittleEndian.Uint32(rest[:4])
+	if rawLen > uint32(12*n+8*h.NOutliers+64) {
+		return nil, 0, fmt.Errorf("sz: implausible payload length %d", rawLen)
+	}
+	payload, err := lossless.Deflate().Decompress(rest[4:], int(rawLen))
+	if err != nil {
+		return nil, 0, fmt.Errorf("sz: entropy stage: %w", err)
+	}
+
+	rd := bytes.NewReader(payload)
+	codes := make([]int64, n)
+	for i := range codes {
+		q, err := binary.ReadVarint(rd)
+		if err != nil {
+			return nil, 0, fmt.Errorf("sz: code stream truncated at %d: %w", i, err)
+		}
+		codes[i] = q
+	}
+	outliers := make([]float64, h.NOutliers)
+	for i := range outliers {
+		var b [8]byte
+		if _, err := rd.Read(b[:]); err != nil {
+			return nil, 0, fmt.Errorf("sz: outlier stream truncated: %w", err)
+		}
+		outliers[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
+	}
+
+	t := grid.New(h.Dims...)
+	rec := t.Data()
+	strides := make([]int, len(h.Dims))
+	s := 1
+	for d := len(h.Dims) - 1; d >= 0; d-- {
+		strides[d] = s
+		s *= h.Dims[d]
+	}
+	idx := make([]int, len(h.Dims))
+	twoEps := 2 * h.Bound
+	outIx := 0
+	for flat := 0; flat < n; flat++ {
+		if codes[flat] == math.MinInt32 {
+			if outIx >= len(outliers) {
+				return nil, 0, fmt.Errorf("sz: outlier index out of range")
+			}
+			rec[flat] = outliers[outIx]
+			outIx++
+		} else {
+			pred := lorenzo(rec, idx, strides)
+			rec[flat] = pred + float64(codes[flat])*twoEps
+		}
+		for d := len(idx) - 1; d >= 0; d-- {
+			idx[d]++
+			if idx[d] < h.Dims[d] {
+				break
+			}
+			idx[d] = 0
+		}
+	}
+	return t, h.Bound, nil
+}
+
+// lorenzo evaluates the N-dimensional Lorenzo predictor at the given
+// multi-index: the inclusion-exclusion sum over the 2^d-1 already-visited
+// corner neighbours. Out-of-range neighbours contribute zero, matching the
+// implicit zero boundary of SZ.
+func lorenzo(rec []float64, idx, strides []int) float64 {
+	d := len(idx)
+	pred := 0.0
+	// Subset mask over dimensions; bit set = step back along that dim.
+	for mask := 1; mask < 1<<d; mask++ {
+		flat := 0
+		ok := true
+		for dim := 0; dim < d; dim++ {
+			p := idx[dim]
+			if mask>>dim&1 == 1 {
+				if p == 0 {
+					ok = false
+					break
+				}
+				p--
+			}
+			flat += p * strides[dim]
+		}
+		if !ok {
+			continue
+		}
+		if popcount(mask)%2 == 1 {
+			pred += rec[flat]
+		} else {
+			pred -= rec[flat]
+		}
+	}
+	return pred
+}
+
+func popcount(v int) int {
+	c := 0
+	for v != 0 {
+		c += v & 1
+		v >>= 1
+	}
+	return c
+}

@@ -1,0 +1,160 @@
+package sz
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pmgard/internal/grid"
+	"pmgard/internal/sim/warpx"
+)
+
+func TestRoundTripRespectsBound(t *testing.T) {
+	field, err := warpx.DefaultConfig(17, 17, 17).Field("Jx", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rel := range []float64{1e-2, 1e-4, 1e-6} {
+		bound := rel * field.Range()
+		blob, err := Compress(field, bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, gotBound, err := Decompress(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotBound != bound {
+			t.Fatalf("bound round trip: %g vs %g", gotBound, bound)
+		}
+		if achieved := grid.MaxAbsDiff(field, rec); achieved > bound+1e-15 {
+			t.Fatalf("rel %g: achieved %g > bound %g", rel, achieved, bound)
+		}
+		if int64(len(blob)) >= int64(8*field.Len()) {
+			t.Fatalf("rel %g: no compression (%d bytes for %d raw)", rel, len(blob), 8*field.Len())
+		}
+	}
+}
+
+func TestTighterBoundBiggerStream(t *testing.T) {
+	field, err := warpx.DefaultConfig(17, 17, 17).Field("Ex", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, _ := Compress(field, 1e-2*field.Range())
+	tight, _ := Compress(field, 1e-6*field.Range())
+	if len(tight) <= len(loose) {
+		t.Fatalf("tight bound stream %d not larger than loose %d", len(tight), len(loose))
+	}
+}
+
+func TestLowRankAndShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][]int{{100}, {17, 23}, {5, 7, 9}} {
+		f := grid.New(dims...)
+		for i := range f.Data() {
+			f.Data()[i] = math.Sin(float64(i)/11) + 0.1*rng.NormFloat64()
+		}
+		bound := 1e-4 * f.Range()
+		blob, err := Compress(f, bound)
+		if err != nil {
+			t.Fatalf("dims %v: %v", dims, err)
+		}
+		rec, _, err := Decompress(blob)
+		if err != nil {
+			t.Fatalf("dims %v: %v", dims, err)
+		}
+		if grid.MaxAbsDiff(f, rec) > bound+1e-15 {
+			t.Fatalf("dims %v: bound violated", dims)
+		}
+	}
+}
+
+func TestOutlierEscape(t *testing.T) {
+	// A huge isolated spike forces the outlier path; it must reconstruct
+	// exactly (raw storage).
+	f := grid.New(32)
+	for i := range f.Data() {
+		f.Data()[i] = float64(i)
+	}
+	f.Set(1e18, 16)
+	bound := 1e-6
+	blob, err := Compress(f, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _, err := Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.At(16) != 1e18 {
+		t.Fatalf("outlier reconstructed as %g", rec.At(16))
+	}
+	if grid.MaxAbsDiff(f, rec) > bound {
+		t.Fatal("bound violated around outlier")
+	}
+}
+
+func TestConstantFieldCompressesHard(t *testing.T) {
+	f := grid.New(16, 16, 16)
+	f.Fill(3.25)
+	blob, err := Compress(f, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) > 600 {
+		t.Fatalf("constant field compressed to %d bytes", len(blob))
+	}
+	rec, _, err := Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid.MaxAbsDiff(f, rec) > 1e-6 {
+		t.Fatal("bound violated")
+	}
+}
+
+func TestCompressValidation(t *testing.T) {
+	f := grid.New(4)
+	for _, bound := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := Compress(f, bound); err == nil {
+			t.Errorf("bound %v accepted", bound)
+		}
+	}
+}
+
+func TestDecompressRejectsCorrupt(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		append([]byte{255, 255, 255, 255}, make([]byte, 16)...),
+		[]byte("\x05\x00\x00\x00notjsnPADPADPAD"),
+	}
+	for i, blob := range cases {
+		if _, _, err := Decompress(blob); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// Valid header, truncated payload.
+	f := grid.New(8)
+	blob, _ := Compress(f, 1)
+	if _, _, err := Decompress(blob[:len(blob)-4]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestNaNBecomesOutlier(t *testing.T) {
+	f := grid.New(8)
+	f.Set(math.NaN(), 3)
+	blob, err := Compress(f, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _, err := Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(rec.At(3)) {
+		t.Fatalf("NaN reconstructed as %g", rec.At(3))
+	}
+}

@@ -1,0 +1,476 @@
+// Package zfp implements a simplified ZFP-style error-bounded lossy
+// compressor (Lindstrom [16]) as the transform-based counterpart to
+// package sz: 4^d blocks, a common fixed-point exponent per block, ZFP's
+// integer lifting transform along each axis, sequency reordering,
+// nega-binary bit-planes truncated per block to the requested accuracy,
+// and a DEFLATE entropy stage.
+//
+// Like sz (and unlike the progressive pipeline in internal/core), the error
+// bound is fixed at compression time — this is the "cannot adjust the
+// tolerance after the fact" baseline of the paper's §I. Fixed-accuracy mode
+// only; each block stores exactly as many planes as its content needs.
+//
+// The per-block plane count is chosen against the *measured* block
+// reconstruction error (encode → truncate → inverse transform → compare),
+// so the bound holds exactly, transform amplification included.
+package zfp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"pmgard/internal/bitplane"
+	"pmgard/internal/grid"
+	"pmgard/internal/lossless"
+)
+
+// blockEdge is the block side length (ZFP's fixed 4).
+const blockEdge = 4
+
+// planesBudget is the maximum bit-planes per block (enough to reach double
+// round-off at our scales).
+const planesBudget = 44
+
+// header is the self-describing stream prefix.
+type header struct {
+	Dims  []int   `json:"dims"`
+	Bound float64 `json:"bound"`
+}
+
+// Compress encodes t under the given absolute error bound.
+func Compress(t *grid.Tensor, bound float64) ([]byte, error) {
+	if bound <= 0 || math.IsNaN(bound) || math.IsInf(bound, 0) {
+		return nil, fmt.Errorf("zfp: bound %g must be positive and finite", bound)
+	}
+	dims := t.Dims()
+	rank := len(dims)
+	if rank < 1 || rank > 3 {
+		return nil, fmt.Errorf("zfp: rank %d unsupported (1-3)", rank)
+	}
+	blockLen := 1
+	for i := 0; i < rank; i++ {
+		blockLen *= blockEdge
+	}
+
+	var body bytes.Buffer
+	forEachBlock(dims, func(origin []int) error {
+		block := gatherBlock(t, origin)
+		return encodeBlock(&body, block, blockLen, bound)
+	})
+
+	packed, err := lossless.Deflate().Compress(body.Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("zfp: entropy stage: %w", err)
+	}
+	head, err := json.Marshal(header{Dims: dims, Bound: bound})
+	if err != nil {
+		return nil, fmt.Errorf("zfp: marshal header: %w", err)
+	}
+	var out bytes.Buffer
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(head)))
+	out.Write(lenBuf[:])
+	out.Write(head)
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(body.Len()))
+	out.Write(lenBuf[:])
+	out.Write(packed)
+	return out.Bytes(), nil
+}
+
+// Decompress reverses Compress.
+func Decompress(blob []byte) (*grid.Tensor, float64, error) {
+	if len(blob) < 8 {
+		return nil, 0, fmt.Errorf("zfp: stream too short")
+	}
+	headLen := binary.LittleEndian.Uint32(blob[:4])
+	if int(headLen) > len(blob)-8 {
+		return nil, 0, fmt.Errorf("zfp: corrupt header length %d", headLen)
+	}
+	var h header
+	if err := json.Unmarshal(blob[4:4+headLen], &h); err != nil {
+		return nil, 0, fmt.Errorf("zfp: parse header: %w", err)
+	}
+	rank := len(h.Dims)
+	if rank < 1 || rank > 3 || h.Bound <= 0 {
+		return nil, 0, fmt.Errorf("zfp: invalid header %+v", h)
+	}
+	n := 1
+	for _, d := range h.Dims {
+		if d <= 0 || n > (1<<28)/d {
+			return nil, 0, fmt.Errorf("zfp: implausible dims %v", h.Dims)
+		}
+		n *= d
+	}
+	rest := blob[4+headLen:]
+	rawLen := binary.LittleEndian.Uint32(rest[:4])
+	if rawLen > uint32(16*n+1<<16) {
+		return nil, 0, fmt.Errorf("zfp: implausible payload length %d", rawLen)
+	}
+	body, err := lossless.Deflate().Decompress(rest[4:], int(rawLen))
+	if err != nil {
+		return nil, 0, fmt.Errorf("zfp: entropy stage: %w", err)
+	}
+
+	blockLen := 1
+	for i := 0; i < rank; i++ {
+		blockLen *= blockEdge
+	}
+	out := grid.New(h.Dims...)
+	rd := bytes.NewReader(body)
+	derr := forEachBlock(h.Dims, func(origin []int) error {
+		block, err := decodeBlock(rd, blockLen, rank)
+		if err != nil {
+			return err
+		}
+		scatterBlock(out, origin, block)
+		return nil
+	})
+	if derr != nil {
+		return nil, 0, derr
+	}
+	return out, h.Bound, nil
+}
+
+// forEachBlock walks block origins in row-major order.
+func forEachBlock(dims []int, fn func(origin []int) error) error {
+	rank := len(dims)
+	origin := make([]int, rank)
+	for {
+		if err := fn(origin); err != nil {
+			return err
+		}
+		d := rank - 1
+		for ; d >= 0; d-- {
+			origin[d] += blockEdge
+			if origin[d] < dims[d] {
+				break
+			}
+			origin[d] = 0
+		}
+		if d < 0 {
+			return nil
+		}
+	}
+}
+
+// gatherBlock copies a 4^d block starting at origin, replicating edge
+// values into padding (ZFP's partial-block handling).
+func gatherBlock(t *grid.Tensor, origin []int) []float64 {
+	dims := t.Dims()
+	rank := len(dims)
+	blockLen := 1
+	for i := 0; i < rank; i++ {
+		blockLen *= blockEdge
+	}
+	block := make([]float64, blockLen)
+	idx := make([]int, rank)
+	for i := 0; i < blockLen; i++ {
+		rem := i
+		src := make([]int, rank)
+		for d := rank - 1; d >= 0; d-- {
+			idx[d] = rem % blockEdge
+			rem /= blockEdge
+			p := origin[d] + idx[d]
+			if p >= dims[d] {
+				p = dims[d] - 1 // edge replication
+			}
+			src[d] = p
+		}
+		block[i] = t.At(src...)
+	}
+	return block
+}
+
+// scatterBlock writes the in-range part of a block back to the tensor.
+func scatterBlock(t *grid.Tensor, origin []int, block []float64) {
+	dims := t.Dims()
+	rank := len(dims)
+	blockLen := len(block)
+	idx := make([]int, rank)
+	for i := 0; i < blockLen; i++ {
+		rem := i
+		in := true
+		dst := make([]int, rank)
+		for d := rank - 1; d >= 0; d-- {
+			idx[d] = rem % blockEdge
+			rem /= blockEdge
+			p := origin[d] + idx[d]
+			if p >= dims[d] {
+				in = false
+				break
+			}
+			dst[d] = p
+		}
+		if in {
+			t.Set(block[i], dst...)
+		}
+	}
+}
+
+// encodeBlock writes one block record: exponent (int16), plane count
+// (uint8), then the planes bit-packed.
+func encodeBlock(w *bytes.Buffer, block []float64, blockLen int, bound float64) error {
+	maxAbs := 0.0
+	for _, v := range block {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs <= bound/2 {
+		// Whole block reconstructs as zero within the bound.
+		var rec [3]byte
+		binary.LittleEndian.PutUint16(rec[:2], 0)
+		rec[2] = 0xFF // zero-block marker
+		w.Write(rec[:])
+		return nil
+	}
+	exp := int(math.Ceil(math.Log2(maxAbs)))
+	if math.Ldexp(1, exp) < maxAbs {
+		exp++
+	}
+	unit := math.Ldexp(1, exp-(planesBudget-4))
+	q := make([]int64, blockLen)
+	for i, v := range block {
+		q[i] = int64(math.Round(v / unit))
+	}
+	rank := rankOfBlockLen(blockLen)
+	forwardTransform(q, rank)
+	order := sequencyOrder(rank)
+	coeffs := make([]int64, blockLen)
+	for i, o := range order {
+		coeffs[i] = q[o]
+	}
+
+	// Choose the smallest plane count whose measured block error meets the
+	// bound. Correct regardless of nega-binary prefix non-monotonicity.
+	nb := make([]uint64, blockLen)
+	for i, c := range coeffs {
+		nb[i] = bitplane.EncodeNegabinary(c)
+	}
+	planes := planesBudget
+	scratch := make([]int64, blockLen)
+	for k := 0; k <= planesBudget; k++ {
+		if blockErr(nb, k, order, rank, unit, block, scratch) <= bound {
+			planes = k
+			break
+		}
+	}
+
+	var head [3]byte
+	binary.LittleEndian.PutUint16(head[:2], uint16(int16(exp)))
+	head[2] = uint8(planes)
+	w.Write(head[:])
+	// Pack planes MSB-first, blockLen bits per plane.
+	bits := make([]byte, (blockLen*planes+7)/8)
+	bit := 0
+	for k := 0; k < planes; k++ {
+		shift := uint(planesBudget - 1 - k)
+		for i := 0; i < blockLen; i++ {
+			if nb[i]>>shift&1 == 1 {
+				bits[bit>>3] |= 1 << uint(bit&7)
+			}
+			bit++
+		}
+	}
+	w.Write(bits)
+	return nil
+}
+
+// blockErr measures the max reconstruction error of keeping the top k
+// planes of the block's nega-binary coefficients.
+func blockErr(nb []uint64, k int, order []int, rank int, unit float64, orig []float64, scratch []int64) float64 {
+	var mask uint64
+	if k > 0 {
+		mask = ((uint64(1) << uint(k)) - 1) << uint(planesBudget-k)
+	}
+	for i, o := range order {
+		scratch[o] = bitplane.DecodeNegabinary(nb[i] & mask)
+	}
+	inverseTransform(scratch, rank)
+	maxErr := 0.0
+	for i, v := range scratch {
+		if e := math.Abs(orig[i] - float64(v)*unit); e > maxErr {
+			maxErr = e
+		}
+	}
+	return maxErr
+}
+
+// decodeBlock reads one block record and reconstructs its values.
+func decodeBlock(rd *bytes.Reader, blockLen, rank int) ([]float64, error) {
+	var head [3]byte
+	if _, err := io.ReadFull(rd, head[:]); err != nil {
+		return nil, fmt.Errorf("zfp: block header: %w", err)
+	}
+	if head[2] == 0xFF {
+		return make([]float64, blockLen), nil
+	}
+	exp := int(int16(binary.LittleEndian.Uint16(head[:2])))
+	planes := int(head[2])
+	if planes > planesBudget {
+		return nil, fmt.Errorf("zfp: block plane count %d out of range", planes)
+	}
+	bits := make([]byte, (blockLen*planes+7)/8)
+	if len(bits) > 0 {
+		if _, err := io.ReadFull(rd, bits); err != nil {
+			return nil, fmt.Errorf("zfp: block planes: %w", err)
+		}
+	}
+	nb := make([]uint64, blockLen)
+	bit := 0
+	for k := 0; k < planes; k++ {
+		shift := uint(planesBudget - 1 - k)
+		for i := 0; i < blockLen; i++ {
+			if bits[bit>>3]>>uint(bit&7)&1 == 1 {
+				nb[i] |= 1 << shift
+			}
+			bit++
+		}
+	}
+	order := sequencyOrder(rank)
+	q := make([]int64, blockLen)
+	for i, o := range order {
+		q[o] = bitplane.DecodeNegabinary(nb[i])
+	}
+	inverseTransform(q, rank)
+	unit := math.Ldexp(1, exp-(planesBudget-4))
+	out := make([]float64, blockLen)
+	for i, v := range q {
+		out[i] = float64(v) * unit
+	}
+	return out, nil
+}
+
+func rankOfBlockLen(blockLen int) int {
+	switch blockLen {
+	case blockEdge:
+		return 1
+	case blockEdge * blockEdge:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// forwardTransform applies ZFP's 4-point integer lifting along every axis.
+func forwardTransform(q []int64, rank int) {
+	applyTransform(q, rank, fwdLift)
+}
+
+// inverseTransform exactly reverses forwardTransform.
+func inverseTransform(q []int64, rank int) {
+	applyTransform(q, rank, invLift)
+}
+
+func applyTransform(q []int64, rank int, lift func([]int64, int, int)) {
+	blockLen := len(q)
+	for axis := 0; axis < rank; axis++ {
+		stride := 1
+		for d := rank - 1; d > axis; d-- {
+			stride *= blockEdge
+		}
+		lines := blockLen / blockEdge
+		for line := 0; line < lines; line++ {
+			// Base offset of this line: enumerate positions with axis
+			// coordinate 0.
+			base := lineBase(line, axis, rank)
+			lift(q, base, stride)
+		}
+	}
+}
+
+// lineBase maps a line index to the flat offset of its first element for
+// the given transform axis.
+func lineBase(line, axis, rank int) int {
+	// Positions are blockEdge-ary numbers; insert a zero digit at `axis`.
+	digits := make([]int, rank)
+	rem := line
+	for d := rank - 1; d >= 0; d-- {
+		if d == axis {
+			continue
+		}
+		digits[d] = rem % blockEdge
+		rem /= blockEdge
+	}
+	flat := 0
+	for d := 0; d < rank; d++ {
+		flat = flat*blockEdge + digits[d]
+	}
+	return flat
+}
+
+// fwdLift is ZFP's forward 4-point lifting step.
+func fwdLift(p []int64, base, s int) {
+	x, y, z, w := p[base], p[base+s], p[base+2*s], p[base+3*s]
+	x += w
+	x >>= 1
+	w -= x
+	z += y
+	z >>= 1
+	y -= z
+	x += z
+	x >>= 1
+	z -= x
+	w += y
+	w >>= 1
+	y -= w
+	w += y >> 1
+	y -= w >> 1
+	p[base], p[base+s], p[base+2*s], p[base+3*s] = x, y, z, w
+}
+
+// invLift exactly reverses fwdLift.
+func invLift(p []int64, base, s int) {
+	x, y, z, w := p[base], p[base+s], p[base+2*s], p[base+3*s]
+	y += w >> 1
+	w -= y >> 1
+	y += w
+	w <<= 1
+	w -= y
+	z += x
+	x <<= 1
+	x -= z
+	y += z
+	z <<= 1
+	z -= y
+	w += x
+	x <<= 1
+	x -= w
+	p[base], p[base+s], p[base+2*s], p[base+3*s] = x, y, z, w
+}
+
+// sequencyOrder returns the static coefficient order (by total index sum,
+// ties by flat index) used to front-load low-frequency content.
+func sequencyOrder(rank int) []int {
+	blockLen := 1
+	for i := 0; i < rank; i++ {
+		blockLen *= blockEdge
+	}
+	type item struct{ sum, flat int }
+	items := make([]item, blockLen)
+	for i := 0; i < blockLen; i++ {
+		sum := 0
+		rem := i
+		for d := 0; d < rank; d++ {
+			sum += rem % blockEdge
+			rem /= blockEdge
+		}
+		items[i] = item{sum: sum, flat: i}
+	}
+	// Insertion sort by (sum, flat): blockLen ≤ 64.
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && (items[j].sum < items[j-1].sum ||
+			(items[j].sum == items[j-1].sum && items[j].flat < items[j-1].flat)); j-- {
+			items[j], items[j-1] = items[j-1], items[j]
+		}
+	}
+	order := make([]int, blockLen)
+	for i, it := range items {
+		order[i] = it.flat
+	}
+	return order
+}

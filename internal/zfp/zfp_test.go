@@ -1,0 +1,186 @@
+package zfp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pmgard/internal/grid"
+	"pmgard/internal/sim/warpx"
+)
+
+func TestLiftRoundTripWithinOneUnit(t *testing.T) {
+	// ZFP's integer lifting drops low bits (it is lossy by design); the
+	// round trip must stay within a few units, and blockErr accounts for
+	// the residual exactly.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		orig := make([]int64, 4)
+		for i := range orig {
+			orig[i] = int64(rng.Intn(2000) - 1000)
+		}
+		p := append([]int64(nil), orig...)
+		fwdLift(p, 0, 1)
+		invLift(p, 0, 1)
+		for i := range orig {
+			if d := orig[i] - p[i]; d > 4 || d < -4 {
+				t.Fatalf("lift round trip drifted by %d at %d (in %v out %v)", d, i, orig, p)
+			}
+		}
+	}
+}
+
+func TestSequencyOrderIsPermutation(t *testing.T) {
+	for rank := 1; rank <= 3; rank++ {
+		order := sequencyOrder(rank)
+		seen := make(map[int]bool)
+		for _, o := range order {
+			if seen[o] {
+				t.Fatalf("rank %d: duplicate %d", rank, o)
+			}
+			seen[o] = true
+		}
+		want := 1
+		for i := 0; i < rank; i++ {
+			want *= blockEdge
+		}
+		if len(order) != want {
+			t.Fatalf("rank %d: %d entries, want %d", rank, len(order), want)
+		}
+		if order[0] != 0 {
+			t.Fatalf("rank %d: DC coefficient not first", rank)
+		}
+	}
+}
+
+func TestRoundTripRespectsBound(t *testing.T) {
+	field, err := warpx.DefaultConfig(17, 17, 17).Field("Ex", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rel := range []float64{1e-2, 1e-4, 1e-6, 1e-9} {
+		bound := rel * field.Range()
+		blob, err := Compress(field, bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, gotBound, err := Decompress(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotBound != bound {
+			t.Fatalf("bound round trip: %g vs %g", gotBound, bound)
+		}
+		if achieved := grid.MaxAbsDiff(field, rec); achieved > bound {
+			t.Fatalf("rel %g: achieved %g > bound %g", rel, achieved, bound)
+		}
+	}
+}
+
+func TestTighterBoundBiggerStream(t *testing.T) {
+	field, err := warpx.DefaultConfig(17, 17, 17).Field("Jx", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, _ := Compress(field, 1e-2*field.Range())
+	tight, _ := Compress(field, 1e-7*field.Range())
+	if len(tight) <= len(loose) {
+		t.Fatalf("tight stream %d not larger than loose %d", len(tight), len(loose))
+	}
+}
+
+func TestLowRankAndOddShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, dims := range [][]int{{6}, {9, 5}, {7, 10, 5}, {4, 4, 4}} {
+		f := grid.New(dims...)
+		for i := range f.Data() {
+			f.Data()[i] = math.Cos(float64(i)/7)*3 + 0.05*rng.NormFloat64()
+		}
+		bound := 1e-4 * f.Range()
+		blob, err := Compress(f, bound)
+		if err != nil {
+			t.Fatalf("dims %v: %v", dims, err)
+		}
+		rec, _, err := Decompress(blob)
+		if err != nil {
+			t.Fatalf("dims %v: %v", dims, err)
+		}
+		if grid.MaxAbsDiff(f, rec) > bound {
+			t.Fatalf("dims %v: bound violated", dims)
+		}
+	}
+}
+
+func TestZeroBlocksNearlyFree(t *testing.T) {
+	f := grid.New(16, 16, 16)
+	blob, err := Compress(f, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) > 300 {
+		t.Fatalf("all-zero field compressed to %d bytes", len(blob))
+	}
+	rec, _, err := Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.LinfNorm() != 0 {
+		t.Fatal("zero field not reconstructed as zero")
+	}
+}
+
+func TestSmoothBeatsNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	smooth := grid.New(16, 16, 16)
+	noisy := grid.New(16, 16, 16)
+	i := 0
+	for x := 0; x < 16; x++ {
+		for y := 0; y < 16; y++ {
+			for z := 0; z < 16; z++ {
+				smooth.Data()[i] = math.Sin(float64(x)/5) * math.Cos(float64(y+z)/7)
+				noisy.Data()[i] = rng.NormFloat64()
+				i++
+			}
+		}
+	}
+	bound := 1e-4
+	bs, _ := Compress(smooth, bound)
+	bn, _ := Compress(noisy, bound)
+	if len(bs) >= len(bn) {
+		t.Fatalf("smooth field (%d bytes) did not beat noisy (%d bytes)", len(bs), len(bn))
+	}
+}
+
+func TestCompressValidation(t *testing.T) {
+	f := grid.New(4)
+	for _, bound := range []float64{0, -1, math.NaN()} {
+		if _, err := Compress(f, bound); err == nil {
+			t.Errorf("bound %v accepted", bound)
+		}
+	}
+	f4 := grid.New(2, 2, 2, 2)
+	if _, err := Compress(f4, 1); err == nil {
+		t.Error("rank-4 accepted")
+	}
+}
+
+func TestDecompressRejectsCorrupt(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2},
+		append([]byte{255, 255, 255, 255}, make([]byte, 16)...),
+	}
+	for i, blob := range cases {
+		if _, _, err := Decompress(blob); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	f := grid.New(8, 8)
+	for i := range f.Data() {
+		f.Data()[i] = float64(i)
+	}
+	blob, _ := Compress(f, 1e-3)
+	if _, _, err := Decompress(blob[:len(blob)-6]); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}

@@ -1,0 +1,226 @@
+// Package pmgard is a Go implementation of the DNN-assisted progressive
+// retrieval framework for HPC scientific data from Wang et al., "Improving
+// Progressive Retrieval for HPC Scientific Data using Deep Neural Network"
+// (ICDE 2023), together with every substrate it depends on: an MGARD-style
+// error-bounded multilevel decomposer with nega-binary bit-plane encoding,
+// a tiered-storage segment store, a from-scratch DNN stack, and the two
+// prediction models the paper proposes (D-MGARD and E-MGARD).
+//
+// This root package is a thin facade over the internal packages so
+// downstream code has one import:
+//
+//	field := ...                          // *pmgard.Tensor
+//	c, _ := pmgard.Compress(field, pmgard.DefaultConfig(), "Jx", 0)
+//	h := &c.Header
+//	rec, plan, _ := pmgard.RetrieveTolerance(h, c, h.TheoryEstimator(), tol)
+//
+// See the examples/ directory for complete workflows and DESIGN.md for the
+// system inventory and experiment index.
+package pmgard
+
+import (
+	"pmgard/internal/core"
+	"pmgard/internal/dataset"
+	"pmgard/internal/decompose"
+	"pmgard/internal/dmgard"
+	"pmgard/internal/emgard"
+	"pmgard/internal/features"
+	"pmgard/internal/grid"
+	"pmgard/internal/retrieval"
+	"pmgard/internal/storage"
+)
+
+// Tensor is a dense N-dimensional float64 field.
+type Tensor = grid.Tensor
+
+// NewTensor allocates a zero-filled field with the given dimensions.
+func NewTensor(dims ...int) *Tensor { return grid.New(dims...) }
+
+// TensorFromSlice wraps a flat row-major slice as a field without copying.
+func TensorFromSlice(data []float64, dims ...int) *Tensor {
+	return grid.FromSlice(data, dims...)
+}
+
+// Config configures the compression pipeline.
+type Config = core.Config
+
+// DecomposeOptions configures the multilevel transform.
+type DecomposeOptions = decompose.Options
+
+// DefaultConfig mirrors the paper's setup: five coefficient levels, 32
+// nega-binary bit-planes per level, DEFLATE for the lossless stage.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Compressed is an in-memory compressed field.
+type Compressed = core.Compressed
+
+// Header is the retained compression metadata.
+type Header = core.Header
+
+// Plan is a retrieval decision with its byte cost.
+type Plan = retrieval.Plan
+
+// ErrorEstimator maps per-level truncation errors to a reconstruction-error
+// estimate; TheoryEstimator and E-MGARD's learned estimator implement it.
+type ErrorEstimator = retrieval.ErrorEstimator
+
+// SegmentSource yields compressed plane payloads during retrieval.
+type SegmentSource = core.SegmentSource
+
+// StoreSource adapts an opened store file as a SegmentSource.
+type StoreSource = core.StoreSource
+
+// Store is a file-backed segment store with I/O accounting.
+type Store = storage.Store
+
+// Compress runs decomposition, bit-plane encoding and lossless coding on a
+// field.
+func Compress(t *Tensor, cfg Config, fieldName string, timestep int) (*Compressed, error) {
+	return core.Compress(t, cfg, fieldName, timestep)
+}
+
+// OpenFile opens a compressed field file written by Compressed.WriteFile.
+func OpenFile(path string) (*Header, *Store, error) { return core.OpenFile(path) }
+
+// Retrieve fetches the planes named by plan and recomposes the field.
+func Retrieve(h *Header, src SegmentSource, plan Plan) (*Tensor, error) {
+	return core.Retrieve(h, src, plan)
+}
+
+// RetrieveTolerance plans greedily under est at an absolute tolerance and
+// retrieves.
+func RetrieveTolerance(h *Header, src SegmentSource, est ErrorEstimator, tol float64) (*Tensor, Plan, error) {
+	return core.RetrieveTolerance(h, src, est, tol)
+}
+
+// RetrievePlanes retrieves a fixed per-level plane assignment (the D-MGARD
+// integration point).
+func RetrievePlanes(h *Header, src SegmentSource, planes []int) (*Tensor, Plan, error) {
+	return core.RetrievePlanes(h, src, planes)
+}
+
+// DMGARDModel is the chained multi-output plane-count predictor (§III-C).
+type DMGARDModel = dmgard.Model
+
+// DMGARDRecord is one D-MGARD training sample.
+type DMGARDRecord = dmgard.Record
+
+// DMGARDConfig holds D-MGARD training hyperparameters.
+type DMGARDConfig = dmgard.Config
+
+// TrainDMGARD fits the CMOR chain to harvested records.
+func TrainDMGARD(records []DMGARDRecord, planes int, cfg DMGARDConfig) (*DMGARDModel, error) {
+	return dmgard.Train(records, planes, cfg)
+}
+
+// HarvestDMGARD sweeps the theory pipeline over relative bounds and emits
+// D-MGARD training records.
+func HarvestDMGARD(field *Tensor, fieldName string, timestep int, cfg Config, relBounds []float64) ([]DMGARDRecord, *Compressed, error) {
+	return dmgard.Harvest(field, fieldName, timestep, cfg, relBounds)
+}
+
+// EMGARDModel is the learned per-level error-constant model (§III-D).
+type EMGARDModel = emgard.Model
+
+// EMGARDSample is one E-MGARD training sample.
+type EMGARDSample = emgard.Sample
+
+// EMGARDConfig holds E-MGARD training hyperparameters.
+type EMGARDConfig = emgard.Config
+
+// TrainEMGARD fits per-level encoders to harvested samples.
+func TrainEMGARD(samples []EMGARDSample, cfg EMGARDConfig) (*EMGARDModel, error) {
+	return emgard.Train(samples, cfg)
+}
+
+// HarvestEMGARD sweeps the theory pipeline over relative bounds and emits
+// E-MGARD training samples.
+func HarvestEMGARD(field *Tensor, fieldName string, timestep int, cfg Config, relBounds []float64) ([]EMGARDSample, *Compressed, error) {
+	return emgard.Harvest(field, fieldName, timestep, cfg, relBounds)
+}
+
+// DefaultRelBounds returns the paper's 81-value relative error-bound sweep.
+func DefaultRelBounds() []float64 { return dmgard.DefaultRelBounds() }
+
+// MaxAbsDiff returns the L∞ distance between two fields.
+func MaxAbsDiff(a, b *Tensor) float64 { return grid.MaxAbsDiff(a, b) }
+
+// PSNR returns the peak signal-to-noise ratio of reconstruction b against
+// original a, in dB.
+func PSNR(a, b *Tensor) float64 { return grid.PSNR(a, b) }
+
+// Session is a stateful progressive retrieval that fetches only deltas as
+// the tolerance tightens (earlier reads are never wasted).
+type Session = core.Session
+
+// NewSession opens a progressive retrieval session over a compressed field.
+func NewSession(h *Header, src SegmentSource) (*Session, error) {
+	return core.NewSession(h, src)
+}
+
+// Hierarchy models a tiered HPC storage system.
+type Hierarchy = storage.Hierarchy
+
+// DefaultHierarchy places levels across a four-tier NVMe/SSD/HDD/tape model.
+func DefaultHierarchy(levels int) (Hierarchy, error) {
+	return storage.DefaultHierarchy(levels)
+}
+
+// TieredStore reads plane segments from per-tier directories with per-tier
+// I/O accounting.
+type TieredStore = storage.TieredStore
+
+// TieredSource adapts a TieredStore as a SegmentSource.
+type TieredSource = core.TieredSource
+
+// OpenTiered opens a tiered store directory written by Compressed.WriteTiered.
+func OpenTiered(dir string) (*Header, *TieredStore, error) {
+	return core.OpenTiered(dir)
+}
+
+// DatasetWriter builds a multi-field, multi-timestep compressed dataset
+// directory with a JSON catalog.
+type DatasetWriter = dataset.Writer
+
+// DatasetReader serves progressive retrievals over a dataset directory with
+// optional model attachment and collection-wide I/O accounting.
+type DatasetReader = dataset.Reader
+
+// CreateDataset starts a new dataset at dir.
+func CreateDataset(dir, name string, cfg Config) (*DatasetWriter, error) {
+	return dataset.Create(dir, name, cfg)
+}
+
+// OpenDataset opens an existing dataset directory.
+func OpenDataset(dir string) (*DatasetReader, error) { return dataset.Open(dir) }
+
+// RetrieveResolution fetches only coefficient levels 0..upTo and
+// reconstructs on the coarser grid they span — reduced degrees of freedom
+// for analyses that can run at lower resolution.
+func RetrieveResolution(h *Header, src SegmentSource, planes []int, upTo int) (*Tensor, Plan, error) {
+	return core.RetrieveResolution(h, src, planes, upTo)
+}
+
+// RetrieveHybrid combines both models (the paper's §IV-E future work):
+// a D-MGARD plane prediction seeds the plan, an E-MGARD estimator verifies
+// and refines it before fetching.
+func RetrieveHybrid(h *Header, src SegmentSource, seedPlanes []int, est ErrorEstimator, tol float64) (*Tensor, Plan, error) {
+	return core.RetrieveHybrid(h, src, seedPlanes, est, tol)
+}
+
+// CombineFeatures assembles the full D-MGARD input vector: field statistics
+// plus the per-level header features.
+func CombineFeatures(fieldFeatures []float64, h *Header) []float64 {
+	return dmgard.CombineFeatures(fieldFeatures, h)
+}
+
+// ExtractFeatures computes the statistical feature vector of a field.
+func ExtractFeatures(t *Tensor, timestep int) []float64 {
+	return features.Extract(t, timestep)
+}
+
+// CompressAll compresses several named fields concurrently (a simulation
+// dump's write side). workers ≤ 0 uses GOMAXPROCS.
+func CompressAll(fields map[string]*Tensor, cfg Config, timestep int, workers int) (map[string]*Compressed, error) {
+	return core.CompressAll(fields, cfg, timestep, workers)
+}

@@ -1,0 +1,187 @@
+package pmgard
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pmgard/internal/sim/warpx"
+)
+
+// facadeField generates a small WarpX field through the public API types.
+func facadeField(t *testing.T) *Tensor {
+	t.Helper()
+	f, err := warpx.DefaultConfig(17, 9, 9).Field("Ex", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFacadeCompressRetrieve(t *testing.T) {
+	field := facadeField(t)
+	c, err := Compress(field, DefaultConfig(), "Ex", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &c.Header
+	tol := h.AbsTolerance(1e-4)
+	rec, plan, err := RetrieveTolerance(h, c, h.TheoryEstimator(), tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxAbsDiff(field, rec) > tol {
+		t.Fatal("tolerance violated through the facade")
+	}
+	if plan.Bytes <= 0 || plan.Bytes > h.TotalBytes() {
+		t.Fatalf("plan bytes %d out of range", plan.Bytes)
+	}
+	if PSNR(field, rec) < 20 {
+		t.Fatalf("PSNR %v unexpectedly low", PSNR(field, rec))
+	}
+}
+
+func TestFacadeFileWorkflow(t *testing.T) {
+	field := facadeField(t)
+	c, err := Compress(field, DefaultConfig(), "Ex", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ex.pmgd")
+	if err := c.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	h, st, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	rec, _, err := RetrievePlanes(h, StoreSource{Store: st}, []int{8, 8, 8, 8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() != field.Len() {
+		t.Fatal("reconstruction size mismatch")
+	}
+	if st.BytesRead() == 0 {
+		t.Fatal("no bytes accounted")
+	}
+}
+
+func TestFacadeModelTraining(t *testing.T) {
+	field := facadeField(t)
+	bounds := []float64{1e-6, 1e-4, 1e-2, 1e-1}
+	recs, c, err := HarvestDMGARD(field, "Ex", 10, DefaultConfig(), bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := TrainDMGARD(recs, c.Header.Planes, DMGARDConfig{
+		Hidden: []int{8}, LeakyAlpha: 0.01, Epochs: 5, BatchSize: 4, LR: 1e-3, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	planes, err := dm.Predict(recs[0].Features, recs[0].AchievedErr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RetrievePlanes(&c.Header, c, planes); err != nil {
+		t.Fatal(err)
+	}
+
+	samples, _, err := HarvestEMGARD(field, "Ex", 10, DefaultConfig(), bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := TrainEMGARD(samples, EMGARDConfig{
+		Hidden: []int{8}, Epochs: 5, BatchSize: 4, LR: 1e-3, Seed: 1, Margin: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := em.Estimator(c.Header.LevelPools)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RetrieveTolerance(&c.Header, c, est, c.Header.AbsTolerance(1e-3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultRelBoundsExported(t *testing.T) {
+	if got := len(DefaultRelBounds()); got != 81 {
+		t.Fatalf("DefaultRelBounds has %d entries, want 81", got)
+	}
+}
+
+func TestTensorConstructors(t *testing.T) {
+	a := NewTensor(2, 3)
+	if a.Len() != 6 {
+		t.Fatal("NewTensor size")
+	}
+	b := TensorFromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	if b.At(1, 1) != 4 {
+		t.Fatal("TensorFromSlice layout")
+	}
+}
+
+func TestFacadeSessionAndTiered(t *testing.T) {
+	field := facadeField(t)
+	c, err := Compress(field, DefaultConfig(), "Ex", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &c.Header
+	s, err := NewSession(h, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Refine(h.TheoryEstimator(), h.AbsTolerance(1e-2)); err != nil {
+		t.Fatal(err)
+	}
+	hier, err := DefaultHierarchy(len(h.Levels))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "tiered")
+	if err := c.WriteTiered(dir, hier); err != nil {
+		t.Fatal(err)
+	}
+	h2, st, err := OpenTiered(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, _, err := RetrieveTolerance(h2, TieredSource{Store: st}, h2.TheoryEstimator(), h2.AbsTolerance(1e-3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeDataset(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ds")
+	w, err := CreateDataset(dir, "demo", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	field := facadeField(t)
+	if err := w.Add(field, "Ex", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	rec, plan, err := r.Retrieve("Ex", 0, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxAbsDiff(field, rec) > 1e-3*field.Range() {
+		t.Fatal("dataset retrieval violated tolerance")
+	}
+	if plan.Bytes <= 0 {
+		t.Fatal("no bytes planned")
+	}
+}
