@@ -10,6 +10,9 @@
 //	               [-model emgard.gob] [-planes 12,10,8,6,4]
 //	               [-orig field.field] [-out recon.field]
 //	mgard retrieve -tiered dir/ -rel 1e-4            (read from a tiered store)
+//	mgard retrieve -in field.pmgd -rel 1e-4 -fault-rate 0.2 -fault-seed 7
+//	               (inject deterministic transient faults and retrieve
+//	               through the retry/backoff layer; -retries caps attempts)
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"pmgard/internal/core"
 	"pmgard/internal/decompose"
 	"pmgard/internal/emgard"
+	"pmgard/internal/faults"
 	"pmgard/internal/fieldio"
 	"pmgard/internal/grid"
 	"pmgard/internal/lossless"
@@ -141,6 +145,9 @@ func cmdRetrieve(args []string) error {
 	planesArg := fs.String("planes", "", "comma-separated per-level plane counts (for -control planes)")
 	orig := fs.String("orig", "", "original field file, to report the achieved error")
 	out := fs.String("out", "", "write the reconstruction to this field file")
+	faultRate := fs.Float64("fault-rate", 0, "inject transient read faults at this rate (0..1) for resilience testing")
+	faultSeed := fs.Int64("fault-seed", 1, "seed for deterministic fault injection")
+	retries := fs.Int("retries", 0, "max read attempts per segment through the retry layer (0 = library default)")
 	fs.Parse(args)
 	if *in == "" && *tiered == "" {
 		return fmt.Errorf("retrieve: -in or -tiered is required")
@@ -165,6 +172,24 @@ func cmdRetrieve(args []string) error {
 		}
 		defer flatStore.Close()
 		src = core.StoreSource{Store: flatStore}
+	}
+
+	if *faultRate < 0 || *faultRate > 1 {
+		return fmt.Errorf("retrieve: -fault-rate %g out of [0,1]", *faultRate)
+	}
+	var flaky *faults.Source
+	var retrying *storage.RetryingSource
+	if *faultRate > 0 || *retries > 0 {
+		if *faultRate > 0 {
+			flaky = faults.WrapSource(src, faults.Config{Seed: *faultSeed, TransientRate: *faultRate})
+			src = flaky
+		}
+		pol := storage.DefaultRetryPolicy()
+		if *retries > 0 {
+			pol.MaxAttempts = *retries
+		}
+		retrying = storage.NewRetryingSource(nil, src, pol)
+		src = retrying
 	}
 
 	tol := *abs
@@ -217,6 +242,16 @@ func cmdRetrieve(args []string) error {
 	}
 
 	fmt.Printf("plan: planes per level %v\n", plan.Planes)
+	if retrying != nil {
+		rs := retrying.Stats()
+		fmt.Printf("retry layer: %d reads, %d retries, %d recovered, %d exhausted, %d quarantined\n",
+			rs.Reads, rs.Retries, rs.Recovered, rs.Exhausted, rs.Quarantined)
+	}
+	if flaky != nil {
+		is := flaky.Stats()
+		fmt.Printf("injected faults: %d transient of %d attempts (rate %.2g, seed %d)\n",
+			is.Transient, is.Reads, *faultRate, *faultSeed)
+	}
 	if flatStore != nil {
 		fmt.Printf("retrieved %d of %d stored bytes (%.1f%%) in %d ranged reads\n",
 			flatStore.BytesRead(), h.TotalBytes(),

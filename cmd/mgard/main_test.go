@@ -99,3 +99,35 @@ func TestCLIValidation(t *testing.T) {
 		t.Error("malformed plane list accepted")
 	}
 }
+
+func TestRetrieveWithFaultInjection(t *testing.T) {
+	dir := t.TempDir()
+	field := writeTestField(t, dir)
+	pmgd := filepath.Join(dir, "jx.pmgd")
+	if err := cmdCompress([]string{"-in", field, "-out", pmgd}); err != nil {
+		t.Fatal(err)
+	}
+	// A 20% transient rate with the retry layer must still retrieve and
+	// verify against the original.
+	recon := filepath.Join(dir, "recon.field")
+	if err := cmdRetrieve([]string{
+		"-in", pmgd, "-rel", "1e-3", "-orig", field, "-out", recon,
+		"-fault-rate", "0.2", "-fault-seed", "7",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fieldio.Read(recon); err != nil {
+		t.Fatalf("reconstruction unreadable: %v", err)
+	}
+	// The retry layer alone (no injection) is also valid.
+	if err := cmdRetrieve([]string{"-in", pmgd, "-rel", "1e-3", "-retries", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-range rates are rejected.
+	if err := cmdRetrieve([]string{"-in", pmgd, "-rel", "1e-3", "-fault-rate", "1.5"}); err == nil {
+		t.Error("fault rate above 1 accepted")
+	}
+	if err := cmdRetrieve([]string{"-in", pmgd, "-rel", "1e-3", "-fault-rate", "-0.1"}); err == nil {
+		t.Error("negative fault rate accepted")
+	}
+}

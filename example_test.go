@@ -68,11 +68,11 @@ func ExampleSession() {
 		panic(err)
 	}
 	est := h.TheoryEstimator()
-	if _, _, err := s.Refine(est, h.AbsTolerance(1e-2)); err != nil {
+	if _, _, _, err := s.Refine(est, h.AbsTolerance(1e-2)); err != nil {
 		panic(err)
 	}
 	coarseBytes := s.BytesFetched()
-	if _, _, err := s.Refine(est, h.AbsTolerance(1e-6)); err != nil {
+	if _, _, _, err := s.Refine(est, h.AbsTolerance(1e-6)); err != nil {
 		panic(err)
 	}
 	_, oneShot, err := pmgard.RetrieveTolerance(h, c, est, h.AbsTolerance(1e-6))

@@ -59,7 +59,7 @@ func main() {
 		log.Fatal(err)
 	}
 	est := h.TheoryEstimator()
-	rec, _, err := sess.Refine(est, h.AbsTolerance(1e-2))
+	rec, _, _, err := sess.Refine(est, h.AbsTolerance(1e-2))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func main() {
 	// Step 4 — tighten twice; each refinement reads only the delta.
 	for _, rel := range []float64{1e-4, 1e-6} {
 		before := sess.BytesFetched()
-		rec, _, err = sess.Refine(est, h.AbsTolerance(rel))
+		rec, _, _, err = sess.Refine(est, h.AbsTolerance(rel))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -8,6 +8,7 @@ import (
 	"pmgard/internal/grid"
 	"pmgard/internal/lossless"
 	"pmgard/internal/retrieval"
+	"pmgard/internal/storage"
 )
 
 // Session is a stateful progressive retrieval: it remembers which planes
@@ -61,10 +62,34 @@ func (s *Session) Fetched() []int {
 // BytesFetched returns the cumulative payload bytes read by this session.
 func (s *Session) BytesFetched() int64 { return s.bytes }
 
+// Degradation reports a degraded-mode refinement: planes the plan wanted
+// but could not have because the store lost them permanently. The session
+// falls back to the deepest consistent plane prefix per level — planes are
+// decoded in order, so everything below the first missing plane is still
+// usable — and re-derives the error bound actually achievable from what
+// was decoded.
+type Degradation struct {
+	// Dropped lists the first permanently unavailable plane of each
+	// affected level; all deeper planes of that level are dropped with it.
+	Dropped []storage.SegmentID
+	// Requested[l] is the plane count the plan asked for on level l.
+	Requested []int
+	// Got[l] is the plane count actually decoded on level l.
+	Got []int
+	// RequestedTol is the absolute tolerance the refinement targeted.
+	RequestedTol float64
+	// AchievedBound is the estimator's error bound at the decoded plane
+	// counts — the guarantee the degraded reconstruction still carries.
+	AchievedBound float64
+}
+
 // RefineTo extends the session to at least the given per-level plane
 // counts, fetching only planes not yet read, and returns the
 // reconstruction. Plane counts below what is already fetched are kept (a
-// session never un-reads data).
+// session never un-reads data). A fetch failure aborts the refinement but
+// leaves the session consistent: every plane fetched before the failure
+// is retained and accounted, so a later RefineTo resumes from exactly
+// where the failure struck.
 func (s *Session) RefineTo(target []int) (*grid.Tensor, error) {
 	if len(target) != len(s.header.Levels) {
 		return nil, fmt.Errorf("core: session target has %d levels, header %d", len(target), len(s.header.Levels))
@@ -73,32 +98,52 @@ func (s *Session) RefineTo(target []int) (*grid.Tensor, error) {
 		if want < 0 || want > s.header.Planes {
 			return nil, fmt.Errorf("core: session target level %d plane count %d out of range", l, want)
 		}
-		for k := s.fetched[l]; k < want; k++ {
-			seg, err := s.src.Segment(l, k)
-			if err != nil {
-				return nil, err
-			}
-			raw, err := s.codec.Decompress(seg, s.header.Levels[l].RawPlaneSize)
-			if err != nil {
-				return nil, fmt.Errorf("core: session level %d plane %d: %w", l, k, err)
-			}
-			s.planes[l][k] = raw
-			s.bytes += s.header.Levels[l].PlaneSizes[k]
-		}
-		if want > s.fetched[l] {
-			s.fetched[l] = want
+	}
+	for l, want := range target {
+		if err := s.fetchLevel(l, want); err != nil {
+			return nil, err
 		}
 	}
 	return s.reconstruct()
 }
 
+// fetchLevel extends level l's fetched plane prefix to want planes,
+// advancing the session state plane by plane so a mid-level failure never
+// desynchronizes fetched/planes/bytes.
+func (s *Session) fetchLevel(l, want int) error {
+	for k := s.fetched[l]; k < want; k++ {
+		seg, err := s.src.Segment(l, k)
+		if err != nil {
+			return err
+		}
+		raw, err := s.codec.Decompress(seg, s.header.Levels[l].RawPlaneSize)
+		if err != nil {
+			return fmt.Errorf("core: session level %d plane %d: %w", l, k, err)
+		}
+		s.planes[l][k] = raw
+		s.bytes += s.header.Levels[l].PlaneSizes[k]
+		s.fetched[l] = k + 1
+	}
+	return nil
+}
+
 // Refine plans greedily under est at an absolute tolerance, never dropping
 // below the already-fetched planes, fetches the delta and reconstructs.
 // It returns the reconstruction and the plan actually executed.
-func (s *Session) Refine(est retrieval.ErrorEstimator, tol float64) (*grid.Tensor, retrieval.Plan, error) {
+//
+// Refine fails soft on data loss: when a plane is permanently unavailable
+// (the read error classifies as storage.FaultPermanent — a quarantined
+// plane, a missing level file, a checksum mismatch), the affected level
+// falls back to its deepest consistent plane prefix, the achievable error
+// bound is recomputed from the per-level Err matrices, and the
+// reconstruction is returned together with a non-nil Degradation report
+// instead of an error. Transient failures (including retry exhaustion in
+// a storage.RetryingSource) still abort with an error, with the session
+// state left consistent for a later retry.
+func (s *Session) Refine(est retrieval.ErrorEstimator, tol float64) (*grid.Tensor, retrieval.Plan, *Degradation, error) {
 	plan, err := retrieval.GreedyPlan(s.header.LevelInfos(), est, tol)
 	if err != nil {
-		return nil, retrieval.Plan{}, err
+		return nil, retrieval.Plan{}, nil, err
 	}
 	target := plan.Planes
 	for l, have := range s.fetched {
@@ -106,15 +151,43 @@ func (s *Session) Refine(est retrieval.ErrorEstimator, tol float64) (*grid.Tenso
 			target[l] = have
 		}
 	}
-	rec, err := s.RefineTo(target)
-	if err != nil {
-		return nil, retrieval.Plan{}, err
+	requested := append([]int(nil), target...)
+	var dropped []storage.SegmentID
+	for l, want := range target {
+		if err := s.fetchLevel(l, want); err != nil {
+			if storage.Classify(err) != storage.FaultPermanent {
+				return nil, retrieval.Plan{}, nil, err
+			}
+			// fetchLevel stopped at the first unavailable plane; the level's
+			// usable prefix is exactly what has been fetched.
+			dropped = append(dropped, storage.SegmentID{Level: l, Plane: s.fetched[l]})
+			target[l] = s.fetched[l]
+		}
 	}
 	exec, err := retrieval.PlanForPlanes(s.header.LevelInfos(), target)
 	if err != nil {
-		return nil, retrieval.Plan{}, err
+		return nil, retrieval.Plan{}, nil, err
 	}
-	return rec, exec, nil
+	levelErrs := make([]float64, len(s.header.Levels))
+	for l, lm := range s.header.Levels {
+		levelErrs[l] = lm.ErrMatrix[target[l]]
+	}
+	exec.EstimatedError = est.Estimate(levelErrs)
+	rec, err := s.reconstruct()
+	if err != nil {
+		return nil, retrieval.Plan{}, nil, err
+	}
+	var deg *Degradation
+	if len(dropped) > 0 {
+		deg = &Degradation{
+			Dropped:       dropped,
+			Requested:     requested,
+			Got:           append([]int(nil), target...),
+			RequestedTol:  tol,
+			AchievedBound: exec.EstimatedError,
+		}
+	}
+	return rec, exec, deg, nil
 }
 
 // reconstruct decodes the fetched planes and recomposes the field.

@@ -179,7 +179,7 @@ func AblateSession(p Params) ([]*Table, error) {
 	var oneShotCum int64
 	for _, rel := range []float64{1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6} {
 		tol := h.AbsTolerance(rel)
-		rec, _, err := sess.Refine(est, tol)
+		rec, _, _, err := sess.Refine(est, tol)
 		if err != nil {
 			return nil, err
 		}

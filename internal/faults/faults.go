@@ -1,0 +1,253 @@
+// Package faults provides deterministic, seedable fault injection for the
+// retrieval path: wrappers around a retrieval SegmentSource or a storage
+// store that inject transient errors, permanently unavailable planes,
+// latency, payload corruption and truncation at configurable rates.
+//
+// Every decision is a pure function of (seed, level, plane, attempt), so a
+// given configuration replays the exact same fault sequence on every run
+// regardless of timing — the property the resilience tests in
+// internal/storage and internal/core rely on. The injected errors carry
+// the storage package's fault-class sentinels (storage.ErrTransient,
+// storage.ErrPermanent) so the retry/quarantine classifier sees them the
+// same way it sees real tier failures.
+package faults
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pmgard/internal/storage"
+)
+
+// PlaneID names one (level, plane) segment for the permanent-fault set.
+type PlaneID struct {
+	// Level is the coefficient level.
+	Level int
+	// Plane is the bit-plane index within the level.
+	Plane int
+}
+
+// Config selects which faults to inject and how often. Zero values inject
+// nothing; the zero Config is a transparent wrapper.
+type Config struct {
+	// Seed drives every random decision. Two wrappers with equal Seed and
+	// rates inject identical fault sequences.
+	Seed int64
+	// TransientRate is the probability in [0,1] that any single read
+	// attempt fails with an error wrapping storage.ErrTransient. Retrying
+	// the read redraws the decision.
+	TransientRate float64
+	// Permanent lists planes that always fail with an error wrapping
+	// storage.ErrPermanent — a lost tape segment, a deleted level file.
+	Permanent []PlaneID
+	// Latency is added to every successful read, modeling a slow tier.
+	Latency time.Duration
+	// CorruptRate is the probability in [0,1] that a successful read's
+	// payload comes back with one byte flipped — silently, the way real
+	// bit-rot arrives. Downstream checksums or decoders must catch it.
+	CorruptRate float64
+	// TruncateRate is the probability in [0,1] that a successful read's
+	// payload comes back cut to half its length.
+	TruncateRate float64
+}
+
+// Stats counts the faults injected so far.
+type Stats struct {
+	// Reads is the number of reads that reached the injector.
+	Reads int64
+	// Transient is the number of injected transient errors.
+	Transient int64
+	// Permanent is the number of reads refused as permanently unavailable.
+	Permanent int64
+	// Corrupted is the number of payloads returned with a flipped byte.
+	Corrupted int64
+	// Truncated is the number of payloads returned truncated.
+	Truncated int64
+}
+
+// Distinct stream constants keep the transient/corrupt/truncate draws
+// independent even though they share (seed, level, plane, attempt).
+const (
+	streamTransient = 0x51ED270B
+	streamCorrupt   = 0xB5297A4D
+	streamTruncate  = 0x68E31DA4
+)
+
+// injector is the shared fault engine behind Source and Store.
+type injector struct {
+	cfg       Config
+	permanent map[PlaneID]bool
+
+	mu       sync.Mutex
+	attempts map[PlaneID]int
+	stats    Stats
+}
+
+func newInjector(cfg Config) *injector {
+	perm := make(map[PlaneID]bool, len(cfg.Permanent))
+	for _, id := range cfg.Permanent {
+		perm[id] = true
+	}
+	return &injector{
+		cfg:       cfg,
+		permanent: perm,
+		attempts:  make(map[PlaneID]int),
+	}
+}
+
+// draw returns a deterministic uniform value in [0,1) for one decision,
+// mixing the seed, plane coordinates, per-plane attempt number and the
+// decision stream through a splitmix64 finalizer.
+func draw(seed int64, level, plane, attempt int, stream uint64) float64 {
+	x := uint64(seed) ^ stream
+	x ^= uint64(level) * 0x9E3779B97F4A7C15
+	x ^= uint64(plane) * 0xC2B2AE3D27D4EB4F
+	x ^= uint64(attempt) * 0x165667B19E3779F9
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}
+
+// admit decides the fate of one read attempt before the underlying read
+// runs. It returns the attempt number (for the payload mangle draws) and
+// an injected error, if any.
+func (in *injector) admit(level, plane int) (int, error) {
+	id := PlaneID{Level: level, Plane: plane}
+	in.mu.Lock()
+	attempt := in.attempts[id]
+	in.attempts[id] = attempt + 1
+	in.stats.Reads++
+	in.mu.Unlock()
+	if in.permanent[id] {
+		in.mu.Lock()
+		in.stats.Permanent++
+		in.mu.Unlock()
+		return attempt, fmt.Errorf("faults: level %d plane %d permanently unavailable: %w",
+			level, plane, storage.ErrPermanent)
+	}
+	if in.cfg.Latency > 0 {
+		time.Sleep(in.cfg.Latency)
+	}
+	if draw(in.cfg.Seed, level, plane, attempt, streamTransient) < in.cfg.TransientRate {
+		in.mu.Lock()
+		in.stats.Transient++
+		in.mu.Unlock()
+		return attempt, fmt.Errorf("faults: injected transient error on level %d plane %d (attempt %d): %w",
+			level, plane, attempt, storage.ErrTransient)
+	}
+	return attempt, nil
+}
+
+// mangle applies the silent payload faults (corruption, truncation) to a
+// successful read. The input is copied before modification so cached
+// payloads held by the underlying source are never poisoned.
+func (in *injector) mangle(level, plane, attempt int, payload []byte) []byte {
+	if len(payload) == 0 {
+		return payload
+	}
+	corrupt := draw(in.cfg.Seed, level, plane, attempt, streamCorrupt) < in.cfg.CorruptRate
+	truncate := draw(in.cfg.Seed, level, plane, attempt, streamTruncate) < in.cfg.TruncateRate
+	if !corrupt && !truncate {
+		return payload
+	}
+	out := append([]byte(nil), payload...)
+	if corrupt {
+		ix := int(draw(in.cfg.Seed, level, plane, attempt, streamCorrupt^streamTruncate) * float64(len(out)))
+		if ix >= len(out) {
+			ix = len(out) - 1
+		}
+		out[ix] ^= 0xFF
+		in.mu.Lock()
+		in.stats.Corrupted++
+		in.mu.Unlock()
+	}
+	if truncate {
+		out = out[:len(out)/2]
+		in.mu.Lock()
+		in.stats.Truncated++
+		in.mu.Unlock()
+	}
+	return out
+}
+
+func (in *injector) snapshot() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// SegmentSource yields compressed plane payloads; it is structurally
+// identical to core.SegmentSource and storage.PlaneSource, restated so
+// this package depends on neither wrapper direction.
+type SegmentSource interface {
+	// Segment returns the compressed payload of plane k of level l.
+	Segment(level, plane int) ([]byte, error)
+}
+
+// Source wraps a SegmentSource with fault injection. It is safe for
+// concurrent use if the underlying source is.
+type Source struct {
+	src SegmentSource
+	in  *injector
+}
+
+// WrapSource wraps src so its reads are filtered through cfg's faults.
+func WrapSource(src SegmentSource, cfg Config) *Source {
+	return &Source{src: src, in: newInjector(cfg)}
+}
+
+// Segment implements SegmentSource with injected faults.
+func (s *Source) Segment(level, plane int) ([]byte, error) {
+	attempt, err := s.in.admit(level, plane)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := s.src.Segment(level, plane)
+	if err != nil {
+		return nil, err
+	}
+	return s.in.mangle(level, plane, attempt, payload), nil
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (s *Source) Stats() Stats { return s.in.snapshot() }
+
+// SegmentReader is the store-level read interface both storage.Store and
+// storage.TieredStore satisfy.
+type SegmentReader interface {
+	// ReadSegment reads one stored plane segment.
+	ReadSegment(id storage.SegmentID) ([]byte, error)
+}
+
+// Store wraps a storage store with fault injection, for tests that
+// exercise the store-facing path rather than the retrieval-facing one.
+type Store struct {
+	r  SegmentReader
+	in *injector
+}
+
+// WrapStore wraps r so its reads are filtered through cfg's faults.
+func WrapStore(r SegmentReader, cfg Config) *Store {
+	return &Store{r: r, in: newInjector(cfg)}
+}
+
+// ReadSegment implements SegmentReader with injected faults.
+func (s *Store) ReadSegment(id storage.SegmentID) ([]byte, error) {
+	attempt, err := s.in.admit(id.Level, id.Plane)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := s.r.ReadSegment(id)
+	if err != nil {
+		return nil, err
+	}
+	return s.in.mangle(id.Level, id.Plane, attempt, payload), nil
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (s *Store) Stats() Stats { return s.in.snapshot() }

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -47,6 +48,70 @@ func FuzzOpen(f *testing.F) {
 		defer st.Close()
 		for _, id := range st.Segments() {
 			st.ReadSegment(id) // must not panic; errors are fine
+		}
+	})
+}
+
+// FuzzOpenTiered is the tiered-store mirror of FuzzOpen: arbitrary bytes
+// as manifest.json must either open cleanly or be rejected with an error,
+// never panic — and whatever opens must survive reads of every advertised
+// plane (against level files that may be missing entirely).
+func FuzzOpenTiered(f *testing.F) {
+	// Seed with a real manifest written by the current writer...
+	dir := f.TempDir()
+	h, err := DefaultHierarchy(2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	w, err := CreateTiered(filepath.Join(dir, "seed"), h, []byte(`{"f":"x"}`))
+	if err != nil {
+		f.Fatal(err)
+	}
+	w.WriteSegment(SegmentID{Level: 0, Plane: 0}, []byte("hello"))
+	w.WriteSegment(SegmentID{Level: 1, Plane: 2}, []byte{1, 2, 3})
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := os.ReadFile(filepath.Join(dir, "seed", "manifest.json"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	// ...a hand-rolled version-1 manifest...
+	v1, err := json.Marshal(tieredManifest{
+		Version:   1,
+		TierNames: []string{"nvme", "hdd"},
+		Placement: []int{0, 1},
+		Levels:    [][]int64{{5}, {0, 0, 3}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v1)
+	// ...and hostile mutations: truncation, version confusion, negative and
+	// overflowing sizes, mismatched checksum shapes.
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":2}`))
+	f.Add([]byte(`{"version":2,"placement":[0],"levels":[[-1]],"checksums":[[0]]}`))
+	f.Add([]byte(`{"version":1,"placement":[0],"levels":[[1125899906842624,1125899906842624]]}`))
+	f.Add([]byte(`{"version":2,"placement":[0,0],"levels":[[1]],"checksums":[[1],[2]]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		root := t.TempDir()
+		if err := os.WriteFile(filepath.Join(root, "manifest.json"), data, 0o644); err != nil {
+			t.Skip()
+		}
+		st, err := OpenTiered(root)
+		if err != nil {
+			return // rejected cleanly
+		}
+		defer st.Close()
+		for l := range st.man.Levels {
+			st.TierOf(l) // must not panic
+			for k := range st.man.Levels[l] {
+				st.ReadSegment(SegmentID{Level: l, Plane: k}) // errors fine, panics not
+			}
 		}
 	})
 }

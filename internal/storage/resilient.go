@@ -1,0 +1,288 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+)
+
+// Fault-class sentinels. Error producers (the stores in this package, the
+// fault injectors in internal/faults, or any user-supplied SegmentSource)
+// wrap their errors with one of these so the retry layer and the degraded
+// retrieval path in internal/core can tell a blip from a loss:
+//
+//   - ErrTransient marks failures worth retrying — flaky interconnects,
+//     timeouts, throttled tiers.
+//   - ErrPermanent marks failures no retry will fix — a deleted level file,
+//     an evicted tape segment. RetryingSource quarantines these and
+//     Session.Refine degrades around them.
+//   - ErrCorrupt marks payloads whose checksum did not match. On-disk
+//     corruption is not repaired by re-reading, so it classifies as
+//     permanent.
+var (
+	// ErrTransient marks a read failure that a retry may fix.
+	ErrTransient = errors.New("storage: transient read fault")
+	// ErrPermanent marks a read failure no retry will fix.
+	ErrPermanent = errors.New("storage: permanent read fault")
+	// ErrCorrupt marks a payload that failed checksum verification.
+	ErrCorrupt = errors.New("storage: payload corruption detected")
+)
+
+// FaultClass is the retry layer's verdict on a read error.
+type FaultClass int
+
+const (
+	// FaultTransient errors are retried with backoff.
+	FaultTransient FaultClass = iota
+	// FaultPermanent errors are quarantined: the (level, plane) is marked
+	// unavailable and every later read fails fast.
+	FaultPermanent
+)
+
+// Classify maps a read error to its fault class. Explicitly marked
+// permanent errors, checksum mismatches and missing files are permanent;
+// everything else — including unmarked errors from sources that predate
+// the fault sentinels — is treated as transient, the conservative choice
+// (a pointless retry costs milliseconds, a wrong quarantine loses data).
+func Classify(err error) FaultClass {
+	switch {
+	case errors.Is(err, ErrPermanent),
+		errors.Is(err, ErrCorrupt),
+		errors.Is(err, os.ErrNotExist):
+		return FaultPermanent
+	default:
+		return FaultTransient
+	}
+}
+
+// PlaneSource yields compressed plane payloads. It is structurally
+// identical to core.SegmentSource, restated here so the storage layer can
+// wrap retrieval sources without importing core.
+type PlaneSource interface {
+	// Segment returns the compressed payload of plane k of level l.
+	Segment(level, plane int) ([]byte, error)
+}
+
+// RetryPolicy bounds the retry loop of a RetryingSource.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per read (first attempt
+	// included). Values below 1 mean the default of 8.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each further retry
+	// doubles it. 0 means the default of 1ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff. 0 means the default of 100ms.
+	MaxDelay time.Duration
+	// Timeout is the per-read deadline; a read exceeding it counts as a
+	// transient failure. 0 disables the deadline.
+	Timeout time.Duration
+	// JitterSeed seeds the deterministic backoff jitter so tests are
+	// reproducible. 0 uses a fixed default seed.
+	JitterSeed int64
+	// Sleep replaces time.Sleep between retries; tests use it to avoid
+	// real delays. nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// DefaultRetryPolicy is tuned for the paper's storage hierarchy: at the
+// default rates a 20% transient fault rate fails a read end-to-end with
+// probability 0.2^8 ≈ 3e-6, while the worst-case added latency per read
+// stays under a second.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 8,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    100 * time.Millisecond,
+	}
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	d := DefaultRetryPolicy()
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = d.BaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = d.MaxDelay
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// RetryStats counts what the retry layer did, for tests and CLI reporting.
+type RetryStats struct {
+	// Reads is the number of Segment calls served (including failures).
+	Reads int64
+	// Retries is the number of extra attempts issued after a transient
+	// failure.
+	Retries int64
+	// Recovered is the number of reads that failed at least once and then
+	// succeeded on a retry.
+	Recovered int64
+	// Exhausted is the number of reads that failed every attempt.
+	Exhausted int64
+	// Quarantined is the number of (level, plane) segments marked
+	// permanently unavailable.
+	Quarantined int64
+}
+
+// RetryingSource wraps any PlaneSource with per-read timeouts, bounded
+// retries with exponential backoff and jitter, context cancellation, and a
+// per-(level, plane) failure classifier: transient failures are retried,
+// permanent ones are quarantined so later reads of the same plane fail
+// fast with an error wrapping ErrPermanent (which the degraded session
+// path in internal/core turns into a plane drop instead of a hard
+// failure). It is safe for concurrent use.
+type RetryingSource struct {
+	src PlaneSource
+	pol RetryPolicy
+	ctx context.Context
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	quarantined map[SegmentID]error
+	stats       RetryStats
+}
+
+// NewRetryingSource wraps src under the given policy. ctx bounds every
+// read and backoff sleep; nil means context.Background().
+func NewRetryingSource(ctx context.Context, src PlaneSource, pol RetryPolicy) *RetryingSource {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	seed := pol.JitterSeed
+	if seed == 0 {
+		seed = 1
+	}
+	return &RetryingSource{
+		src:         src,
+		pol:         pol.withDefaults(),
+		ctx:         ctx,
+		rng:         rand.New(rand.NewSource(seed)),
+		quarantined: make(map[SegmentID]error),
+	}
+}
+
+// Segment implements PlaneSource (and core.SegmentSource) with the retry
+// protocol.
+func (r *RetryingSource) Segment(level, plane int) ([]byte, error) {
+	id := SegmentID{Level: level, Plane: plane}
+	r.mu.Lock()
+	r.stats.Reads++
+	if qerr, ok := r.quarantined[id]; ok {
+		r.mu.Unlock()
+		return nil, qerr
+	}
+	r.mu.Unlock()
+
+	var last error
+	for attempt := 1; attempt <= r.pol.MaxAttempts; attempt++ {
+		if err := r.ctx.Err(); err != nil {
+			return nil, fmt.Errorf("storage: read level %d plane %d: %w", level, plane, err)
+		}
+		payload, err := r.readOnce(level, plane)
+		if err == nil {
+			if attempt > 1 {
+				r.mu.Lock()
+				r.stats.Recovered++
+				r.mu.Unlock()
+			}
+			return payload, nil
+		}
+		last = err
+		if Classify(err) == FaultPermanent {
+			qerr := fmt.Errorf("storage: level %d plane %d quarantined: %w: %w", level, plane, ErrPermanent, err)
+			r.mu.Lock()
+			r.quarantined[id] = qerr
+			r.stats.Quarantined++
+			r.mu.Unlock()
+			return nil, qerr
+		}
+		if attempt < r.pol.MaxAttempts {
+			r.mu.Lock()
+			r.stats.Retries++
+			r.mu.Unlock()
+			r.pol.Sleep(r.backoff(attempt))
+		}
+	}
+	r.mu.Lock()
+	r.stats.Exhausted++
+	r.mu.Unlock()
+	return nil, fmt.Errorf("storage: level %d plane %d failed after %d attempts: %w",
+		level, plane, r.pol.MaxAttempts, last)
+}
+
+// readOnce issues a single attempt, bounded by the per-read timeout and
+// the source context. The underlying read runs in its own goroutine so a
+// hung tier cannot stall the retriever; an abandoned read finishes (and is
+// discarded) in the background.
+func (r *RetryingSource) readOnce(level, plane int) ([]byte, error) {
+	if r.pol.Timeout <= 0 && r.ctx.Done() == nil {
+		return r.src.Segment(level, plane)
+	}
+	type result struct {
+		payload []byte
+		err     error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		p, err := r.src.Segment(level, plane)
+		ch <- result{p, err}
+	}()
+	var timeout <-chan time.Time
+	if r.pol.Timeout > 0 {
+		t := time.NewTimer(r.pol.Timeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case res := <-ch:
+		return res.payload, res.err
+	case <-timeout:
+		return nil, fmt.Errorf("storage: read level %d plane %d timed out after %v: %w",
+			level, plane, r.pol.Timeout, ErrTransient)
+	case <-r.ctx.Done():
+		return nil, fmt.Errorf("storage: read level %d plane %d: %w", level, plane, r.ctx.Err())
+	}
+}
+
+// backoff returns the exponential equal-jitter delay before retry
+// `attempt` (1-based): base·2^(attempt-1) capped at MaxDelay, scaled into
+// [½, 1] by the seeded jitter stream.
+func (r *RetryingSource) backoff(attempt int) time.Duration {
+	d := r.pol.BaseDelay << uint(attempt-1)
+	if d <= 0 || d > r.pol.MaxDelay {
+		d = r.pol.MaxDelay
+	}
+	r.mu.Lock()
+	frac := 0.5 + 0.5*r.rng.Float64()
+	r.mu.Unlock()
+	return time.Duration(float64(d) * frac)
+}
+
+// Stats returns a snapshot of the retry counters.
+func (r *RetryingSource) Stats() RetryStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Quarantined returns the segments marked permanently unavailable so far,
+// in no particular order.
+func (r *RetryingSource) Quarantined() []SegmentID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SegmentID, 0, len(r.quarantined))
+	for id := range r.quarantined {
+		out = append(out, id)
+	}
+	return out
+}

@@ -3,6 +3,7 @@ package storage
 import (
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -29,6 +30,15 @@ type tieredSeg struct {
 }
 
 // tieredManifest is the JSON manifest of a tiered store.
+//
+// Version history:
+//
+//	1 — tier names, placement, meta, per-level plane sizes.
+//	2 — adds Checksums, a per-plane CRC32 (IEEE) of each payload, so
+//	    ranged reads detect on-disk corruption before the decoder sees
+//	    it, mirroring the flat segment store's table CRCs.
+//
+// Readers accept both; writers emit version 2.
 type tieredManifest struct {
 	Version   int      `json:"version"`
 	TierNames []string `json:"tier_names"`
@@ -36,7 +46,13 @@ type tieredManifest struct {
 	Meta      []byte   `json:"meta"`
 	// Levels[l] lists the plane sizes of level l, in plane order.
 	Levels [][]int64 `json:"levels"`
+	// Checksums[l][k] is the CRC32 (IEEE) of plane k of level l. Absent
+	// in version-1 manifests, in which case reads are unverified.
+	Checksums [][]uint32 `json:"checksums,omitempty"`
 }
+
+// tieredManifestVersion is the manifest version written by TieredWriter.
+const tieredManifestVersion = 2
 
 // CreateTiered starts a tiered store rooted at dir with the given hierarchy
 // and opaque metadata.
@@ -76,56 +92,88 @@ func (w *TieredWriter) WriteSegment(id SegmentID, payload []byte) error {
 	return nil
 }
 
-// Close writes the per-tier level files and the manifest.
-func (w *TieredWriter) Close() error {
+// Close writes the per-tier level files and the manifest. The write is
+// atomic at the store level: every file lands under a temporary name
+// first, and the manifest — which OpenTiered requires — is renamed into
+// place last, after all level files. A Close that fails partway leaves no
+// manifest.json (or the previous one, if overwriting), so OpenTiered
+// never half-accepts the store; stray *.tmp files are cleaned up on the
+// error path.
+func (w *TieredWriter) Close() (err error) {
 	if w.closed {
 		return nil
 	}
 	w.closed = true
 	man := tieredManifest{
-		Version:   1,
+		Version:   tieredManifestVersion,
 		Placement: w.hierarchy.Placement,
 		Meta:      w.meta,
 		Levels:    make([][]int64, len(w.hierarchy.Placement)),
+		Checksums: make([][]uint32, len(w.hierarchy.Placement)),
 	}
 	for _, t := range w.hierarchy.Tiers {
 		man.TierNames = append(man.TierNames, t.Name)
 	}
+	// tmp → final renames, performed only once every file is written.
+	var tmps, finals []string
+	defer func() {
+		if err != nil {
+			for _, t := range tmps {
+				os.Remove(t)
+			}
+		}
+	}()
 	for l := 0; l < len(w.hierarchy.Placement); l++ {
 		tierName := w.hierarchy.Tiers[w.hierarchy.Placement[l]].Name
 		dir := filepath.Join(w.root, tierName)
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return fmt.Errorf("storage: create tier dir: %w", err)
 		}
-		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("level_%d.seg", l)))
+		final := filepath.Join(dir, fmt.Sprintf("level_%d.seg", l))
+		tmp := final + ".tmp"
+		f, err := os.Create(tmp)
 		if err != nil {
 			return fmt.Errorf("storage: create level file: %w", err)
 		}
+		tmps, finals = append(tmps, tmp), append(finals, final)
 		segs := w.perLevel[l]
 		var sizes []int64
+		var crcs []uint32
 		for _, s := range segs {
 			// Pad skipped plane ids with zero-length entries so plane k is
 			// always entry k.
 			for len(sizes) < s.plane {
 				sizes = append(sizes, 0)
+				crcs = append(crcs, 0)
 			}
 			if _, err := f.Write(s.payload); err != nil {
 				f.Close()
 				return fmt.Errorf("storage: write level %d: %w", l, err)
 			}
 			sizes = append(sizes, int64(len(s.payload)))
+			crcs = append(crcs, crc32.ChecksumIEEE(s.payload))
 		}
 		if err := f.Close(); err != nil {
 			return err
 		}
 		man.Levels[l] = sizes
+		man.Checksums[l] = crcs
 	}
 	blob, err := json.Marshal(man)
 	if err != nil {
 		return fmt.Errorf("storage: marshal manifest: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(w.root, "manifest.json"), blob, 0o644); err != nil {
+	manFinal := filepath.Join(w.root, "manifest.json")
+	manTmp := manFinal + ".tmp"
+	if err := os.WriteFile(manTmp, blob, 0o644); err != nil {
 		return fmt.Errorf("storage: write manifest: %w", err)
+	}
+	tmps, finals = append(tmps, manTmp), append(finals, manFinal)
+	// Commit: level files first, manifest last.
+	for i := range tmps {
+		if err := os.Rename(tmps[i], finals[i]); err != nil {
+			return fmt.Errorf("storage: commit %s: %w", finals[i], err)
+		}
 	}
 	return nil
 }
@@ -154,11 +202,25 @@ func OpenTiered(dir string) (*TieredStore, error) {
 	if err := json.Unmarshal(blob, &man); err != nil {
 		return nil, fmt.Errorf("storage: parse manifest: %w", err)
 	}
-	if man.Version != 1 {
+	if man.Version != 1 && man.Version != tieredManifestVersion {
 		return nil, fmt.Errorf("storage: unsupported tiered version %d", man.Version)
 	}
 	if len(man.Placement) != len(man.Levels) {
 		return nil, fmt.Errorf("storage: manifest placement/levels mismatch")
+	}
+	if man.Version >= 2 {
+		if len(man.Checksums) != len(man.Levels) {
+			return nil, fmt.Errorf("storage: manifest has %d checksum levels for %d levels",
+				len(man.Checksums), len(man.Levels))
+		}
+		for l := range man.Levels {
+			if len(man.Checksums[l]) != len(man.Levels[l]) {
+				return nil, fmt.Errorf("storage: manifest level %d has %d checksums for %d planes",
+					l, len(man.Checksums[l]), len(man.Levels[l]))
+			}
+		}
+	} else if man.Checksums != nil {
+		return nil, fmt.Errorf("storage: version-1 manifest carries checksums")
 	}
 	st := &TieredStore{
 		root:      dir,
@@ -216,15 +278,23 @@ func (s *TieredStore) ReadSegment(id SegmentID) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if fi, err := f.Stat(); err == nil {
-		if end := s.offsets[id.Level][id.Plane] + sizes[id.Plane]; end > fi.Size() {
-			return nil, fmt.Errorf("storage: level %d plane %d extends past its tier file", id.Level, id.Plane)
-		}
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("storage: stat level %d tier file: %w", id.Level, err)
+	}
+	if end := s.offsets[id.Level][id.Plane] + sizes[id.Plane]; end > fi.Size() {
+		return nil, fmt.Errorf("storage: level %d plane %d extends past its tier file", id.Level, id.Plane)
 	}
 	buf := make([]byte, sizes[id.Plane])
 	if len(buf) > 0 {
 		if _, err := f.ReadAt(buf, s.offsets[id.Level][id.Plane]); err != nil && err != io.EOF {
 			return nil, fmt.Errorf("storage: read level %d plane %d: %w", id.Level, id.Plane, err)
+		}
+	}
+	if s.man.Checksums != nil {
+		if got, want := crc32.ChecksumIEEE(buf), s.man.Checksums[id.Level][id.Plane]; got != want {
+			return nil, fmt.Errorf("storage: level %d plane %d checksum mismatch (got %08x, want %08x): %w",
+				id.Level, id.Plane, got, want, ErrCorrupt)
 		}
 	}
 	s.mu.Lock()

@@ -2,6 +2,8 @@ package storage
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -144,9 +146,160 @@ func TestOpenTieredRejectsCorrupt(t *testing.T) {
 		t.Fatal("corrupt manifest accepted")
 	}
 	os.WriteFile(filepath.Join(dir, "manifest.json"),
-		[]byte(`{"version":2}`), 0o644)
+		[]byte(`{"version":99}`), 0o644)
 	if _, err := OpenTiered(dir); err == nil {
 		t.Fatal("wrong version accepted")
+	}
+	// Version 2 must carry one checksum per plane.
+	os.WriteFile(filepath.Join(dir, "manifest.json"),
+		[]byte(`{"version":2,"tier_names":["a"],"placement":[0],"levels":[[3]],"checksums":[[]]}`), 0o644)
+	if _, err := OpenTiered(dir); err == nil {
+		t.Fatal("checksum/plane count mismatch accepted")
+	}
+	os.WriteFile(filepath.Join(dir, "manifest.json"),
+		[]byte(`{"version":2,"tier_names":["a"],"placement":[0],"levels":[[3]]}`), 0o644)
+	if _, err := OpenTiered(dir); err == nil {
+		t.Fatal("version-2 manifest without checksums accepted")
+	}
+	// Version 1 must not carry checksums.
+	os.WriteFile(filepath.Join(dir, "manifest.json"),
+		[]byte(`{"version":1,"tier_names":["a"],"placement":[0],"levels":[[3]],"checksums":[[7]]}`), 0o644)
+	if _, err := OpenTiered(dir); err == nil {
+		t.Fatal("version-1 manifest with checksums accepted")
+	}
+}
+
+func TestTieredChecksumDetectsCorruption(t *testing.T) {
+	dir, h := buildTieredStore(t, map[SegmentID][]byte{
+		{Level: 0, Plane: 0}: []byte("good data here"),
+		{Level: 0, Plane: 1}: []byte("untouched"),
+	})
+	// Flip one byte of plane 0 on disk.
+	path := filepath.Join(dir, h.Tiers[h.Placement[0]].Name, "level_0.seg")
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[2] ^= 0x01
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenTiered(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	_, err = st.ReadSegment(SegmentID{Level: 0, Plane: 0})
+	if err == nil {
+		t.Fatal("corrupted payload decoded")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corruption error does not wrap ErrCorrupt: %v", err)
+	}
+	if Classify(err) != FaultPermanent {
+		t.Fatal("corruption must classify permanent")
+	}
+	// The undamaged plane still reads (its checksum matches).
+	if _, err := st.ReadSegment(SegmentID{Level: 0, Plane: 1}); err != nil {
+		t.Fatalf("clean plane rejected: %v", err)
+	}
+}
+
+func TestTieredReadsVersion1Manifest(t *testing.T) {
+	dir, _ := buildTieredStore(t, map[SegmentID][]byte{
+		{Level: 0, Plane: 0}: []byte("v1 payload"),
+	})
+	// Downgrade the manifest to version 1 (no checksums), as written by
+	// pre-checksum stores.
+	manPath := filepath.Join(dir, "manifest.json")
+	blob, err := os.ReadFile(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man map[string]any
+	if err := json.Unmarshal(blob, &man); err != nil {
+		t.Fatal(err)
+	}
+	man["version"] = 1
+	delete(man, "checksums")
+	blob, err = json.Marshal(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(manPath, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenTiered(dir)
+	if err != nil {
+		t.Fatalf("version-1 store rejected: %v", err)
+	}
+	defer st.Close()
+	got, err := st.ReadSegment(SegmentID{Level: 0, Plane: 0})
+	if err != nil || !bytes.Equal(got, []byte("v1 payload")) {
+		t.Fatalf("version-1 read: %q, %v", got, err)
+	}
+}
+
+func TestTieredCloseIsAtomic(t *testing.T) {
+	h, err := DefaultHierarchy(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "store")
+	w, err := CreateTiered(dir, h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSegment(SegmentID{Level: 0, Plane: 0}, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the commit: a directory squats on level 0's final name, so
+	// the tmp→final rename must fail after the files are written.
+	tier0 := filepath.Join(dir, h.Tiers[h.Placement[0]].Name)
+	if err := os.MkdirAll(filepath.Join(tier0, "level_0.seg"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("sabotaged Close succeeded")
+	}
+	// The failed Close must not leave a manifest (OpenTiered half-accepting
+	// the store) nor stray temp files.
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); !os.IsNotExist(err) {
+		t.Fatalf("failed Close left a manifest: %v", err)
+	}
+	if _, err := OpenTiered(dir); err == nil {
+		t.Fatal("half-written store opened")
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "*", "*.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpMan, err := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches)+len(tmpMan) > 0 {
+		t.Fatalf("failed Close left temp files: %v %v", matches, tmpMan)
+	}
+}
+
+func TestTieredCloseLeavesNoTempFiles(t *testing.T) {
+	dir, _ := buildTieredStore(t, map[SegmentID][]byte{
+		{Level: 0, Plane: 0}: []byte("x"),
+		{Level: 1, Plane: 0}: []byte("y"),
+	})
+	var temps []string
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && filepath.Ext(path) == ".tmp" {
+			temps = append(temps, path)
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(temps) > 0 {
+		t.Fatalf("successful Close left temp files: %v", temps)
 	}
 }
 

@@ -19,6 +19,8 @@
 package pmgard
 
 import (
+	"context"
+
 	"pmgard/internal/core"
 	"pmgard/internal/dataset"
 	"pmgard/internal/decompose"
@@ -150,12 +152,36 @@ func MaxAbsDiff(a, b *Tensor) float64 { return grid.MaxAbsDiff(a, b) }
 func PSNR(a, b *Tensor) float64 { return grid.PSNR(a, b) }
 
 // Session is a stateful progressive retrieval that fetches only deltas as
-// the tolerance tightens (earlier reads are never wasted).
+// the tolerance tightens (earlier reads are never wasted). Its Refine
+// method fails soft on permanent data loss, returning a Degradation
+// report instead of an error.
 type Session = core.Session
 
 // NewSession opens a progressive retrieval session over a compressed field.
 func NewSession(h *Header, src SegmentSource) (*Session, error) {
 	return core.NewSession(h, src)
+}
+
+// Degradation reports a degraded-mode refinement: the planes dropped as
+// permanently unavailable and the error bound still achieved without them.
+type Degradation = core.Degradation
+
+// RetryPolicy bounds the retry loop of a RetryingSource.
+type RetryPolicy = storage.RetryPolicy
+
+// RetryingSource wraps any SegmentSource with per-read timeouts, bounded
+// retries with exponential backoff, and quarantine of permanently failed
+// planes.
+type RetryingSource = storage.RetryingSource
+
+// DefaultRetryPolicy returns the retry policy tuned for the default
+// storage hierarchy.
+func DefaultRetryPolicy() RetryPolicy { return storage.DefaultRetryPolicy() }
+
+// NewRetryingSource wraps src with the retry/backoff/quarantine protocol.
+// ctx bounds every read and backoff sleep; nil means context.Background().
+func NewRetryingSource(ctx context.Context, src SegmentSource, pol RetryPolicy) *RetryingSource {
+	return storage.NewRetryingSource(ctx, src, pol)
 }
 
 // Hierarchy models a tiered HPC storage system.

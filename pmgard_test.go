@@ -135,7 +135,7 @@ func TestFacadeSessionAndTiered(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := s.Refine(h.TheoryEstimator(), h.AbsTolerance(1e-2)); err != nil {
+	if _, _, _, err := s.Refine(h.TheoryEstimator(), h.AbsTolerance(1e-2)); err != nil {
 		t.Fatal(err)
 	}
 	hier, err := DefaultHierarchy(len(h.Levels))
