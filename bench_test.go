@@ -7,6 +7,7 @@ package pmgard
 // full-scale series recorded in EXPERIMENTS.md.
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"testing"
@@ -203,6 +204,95 @@ func BenchmarkBitplaneEncode(b *testing.B) {
 		if _, err := bitplane.EncodeLevel(coeffs, 32); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- parallel-pipeline benchmarks (worker-count sweep) ---
+
+// benchWorkerCounts is the sweep recorded in BENCH_parallel.json.
+var benchWorkerCounts = []int{1, 2, 4, 8}
+
+// BenchmarkRefactor measures the full write path (decompose + bit-plane
+// encode + lossless) on a 33³ field across worker counts. The output bytes
+// are identical at every count; only the wall clock moves.
+func BenchmarkRefactor(b *testing.B) {
+	field, err := warpx.DefaultConfig(33, 33, 33).Field("Jx", 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Parallelism = workers
+			b.SetBytes(int64(8 * field.Len()))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Compress(field, cfg, "Jx", 5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRetrieveParallel measures the read path (fetch + decompress +
+// decode + recompose) from memory across worker counts.
+func BenchmarkRetrieveParallel(b *testing.B) {
+	field, err := warpx.DefaultConfig(33, 33, 33).Field("Jx", 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := Compress(field, DefaultConfig(), "Jx", 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := &c.Header
+	plan, err := retrieval.GreedyPlan(h.LevelInfos(), h.TheoryEstimator(), h.AbsTolerance(1e-5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(8 * field.Len()))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := RetrieveWorkers(h, c, plan, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTrainParallel measures data-parallel minibatch training across
+// worker counts (workers=1 is the classic sequential trainer).
+func BenchmarkTrainParallel(b *testing.B) {
+	x := nn.NewMat(2048, 16)
+	y := nn.NewMat(2048, 1)
+	for i := range x.Data {
+		x.Data[i] = float64(i%17) / 17
+	}
+	for i := range y.Data {
+		y.Data[i] = float64(i % 33)
+	}
+	for _, workers := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := nn.TrainConfig{
+				Epochs: 1, BatchSize: 512, Seed: 1,
+				Loss: nn.Huber{Delta: 1}, Optimizer: nn.NewAdam(1e-3),
+				Workers: workers,
+			}
+			model := nn.MLP(16, []int{64, 64, 64, 64}, 1, 0.01, rand.New(rand.NewSource(1)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := nn.Train(model, x, y, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

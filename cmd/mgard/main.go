@@ -4,10 +4,12 @@
 // Subcommands:
 //
 //	mgard compress -in field.field -out field.pmgd [-levels 5 -planes 32 -codec deflate]
+//	               [-workers N]  (pipeline worker count; 0 = one per CPU,
+//	               1 = sequential — the output bytes are identical either way)
 //	mgard compress -in field.field -tiered dir/      (place levels across storage tiers)
 //	mgard inspect  -in field.pmgd
 //	mgard retrieve -in field.pmgd -rel 1e-4 [-control theory|emgard|planes]
-//	               [-model emgard.gob] [-planes 12,10,8,6,4]
+//	               [-model emgard.gob] [-planes 12,10,8,6,4] [-workers N]
 //	               [-orig field.field] [-out recon.field]
 //	mgard retrieve -tiered dir/ -rel 1e-4            (read from a tiered store)
 //	mgard retrieve -in field.pmgd -rel 1e-4 -fault-rate 0.2 -fault-seed 7
@@ -68,6 +70,7 @@ func cmdCompress(args []string) error {
 	levels := fs.Int("levels", 5, "coefficient levels")
 	planes := fs.Int("planes", 32, "bit-planes per level")
 	codec := fs.String("codec", "deflate", "lossless codec: deflate, rle, huffman, raw")
+	workers := fs.Int("workers", 0, "pipeline worker count (0 = one per CPU, 1 = sequential)")
 	fs.Parse(args)
 	if *in == "" || (*out == "" && *tiered == "") {
 		return fmt.Errorf("compress: -in and one of -out/-tiered are required")
@@ -81,9 +84,10 @@ func cmdCompress(args []string) error {
 		return err
 	}
 	cfg := core.Config{
-		Decompose: decompose.Options{Levels: *levels, Update: true, UpdateWeight: 0.25},
-		Planes:    *planes,
-		Codec:     cod,
+		Decompose:   decompose.Options{Levels: *levels, Update: true, UpdateWeight: 0.25},
+		Planes:      *planes,
+		Codec:       cod,
+		Parallelism: *workers,
 	}
 	c, err := core.Compress(field, cfg, meta.Field, meta.Timestep)
 	if err != nil {
@@ -148,6 +152,7 @@ func cmdRetrieve(args []string) error {
 	faultRate := fs.Float64("fault-rate", 0, "inject transient read faults at this rate (0..1) for resilience testing")
 	faultSeed := fs.Int64("fault-seed", 1, "seed for deterministic fault injection")
 	retries := fs.Int("retries", 0, "max read attempts per segment through the retry layer (0 = library default)")
+	workers := fs.Int("workers", 0, "retrieval worker count (0 = one per CPU, 1 = sequential)")
 	fs.Parse(args)
 	if *in == "" && *tiered == "" {
 		return fmt.Errorf("retrieve: -in or -tiered is required")
@@ -205,7 +210,7 @@ func cmdRetrieve(args []string) error {
 	var err error
 	switch *control {
 	case "theory":
-		rec, plan, err = core.RetrieveTolerance(h, src, h.TheoryEstimator(), tol)
+		rec, plan, err = core.RetrieveToleranceWorkers(h, src, h.TheoryEstimator(), tol, *workers)
 	case "emgard":
 		if *model == "" {
 			return fmt.Errorf("retrieve: -control emgard requires -model")
@@ -220,7 +225,7 @@ func cmdRetrieve(args []string) error {
 		if err != nil {
 			return err
 		}
-		rec, plan, err = core.RetrieveTolerance(h, src, est, tol)
+		rec, plan, err = core.RetrieveToleranceWorkers(h, src, est, tol, *workers)
 	case "planes":
 		if *planesArg == "" {
 			return fmt.Errorf("retrieve: -control planes requires -planes")
@@ -233,7 +238,7 @@ func cmdRetrieve(args []string) error {
 			}
 			planes = append(planes, v)
 		}
-		rec, plan, err = core.RetrievePlanes(h, src, planes)
+		rec, plan, err = core.RetrievePlanesWorkers(h, src, planes, *workers)
 	default:
 		return fmt.Errorf("retrieve: unknown control %q", *control)
 	}

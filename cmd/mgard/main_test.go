@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -97,6 +99,33 @@ func TestCLIValidation(t *testing.T) {
 	}
 	if err := cmdRetrieve([]string{"-in", pmgd, "-control", "planes", "-planes", "a,b"}); err == nil {
 		t.Error("malformed plane list accepted")
+	}
+}
+
+// TestWorkersFlagBitIdentical compresses the same field at several -workers
+// settings and asserts the produced files are byte-for-byte identical, then
+// retrieves at the same settings through the same flags.
+func TestWorkersFlagBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	field := writeTestField(t, dir)
+	var ref []byte
+	for _, w := range []string{"1", "2", "8"} {
+		pmgd := filepath.Join(dir, "jx-w"+w+".pmgd")
+		if err := cmdCompress([]string{"-in", field, "-out", pmgd, "-workers", w}); err != nil {
+			t.Fatalf("workers=%s: %v", w, err)
+		}
+		data, err := os.ReadFile(pmgd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = data
+		} else if !bytes.Equal(data, ref) {
+			t.Fatalf("workers=%s: compressed file differs from workers=1", w)
+		}
+		if err := cmdRetrieve([]string{"-in", pmgd, "-rel", "1e-3", "-workers", w}); err != nil {
+			t.Fatalf("retrieve workers=%s: %v", w, err)
+		}
 	}
 }
 

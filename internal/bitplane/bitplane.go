@@ -16,6 +16,8 @@ package bitplane
 import (
 	"fmt"
 	"math"
+
+	"pmgard/internal/pool"
 )
 
 // negaMask is the alternating-bit mask used by the nega-binary conversion
@@ -69,17 +71,41 @@ type LevelEncoding struct {
 // EncodeLevel encodes coeffs into planes nega-binary bit-planes. planes
 // must be in [1, 60]; 32 reproduces the paper's configuration.
 func EncodeLevel(coeffs []float64, planes int) (*LevelEncoding, error) {
-	return EncodeLevelMode(coeffs, planes, Negabinary)
+	return EncodeLevelModeWorkers(coeffs, planes, Negabinary, 1)
+}
+
+// EncodeLevelWorkers is EncodeLevel with the quantization, plane-slicing
+// and error-matrix loops fanned across at most `workers` goroutines (≤ 0
+// means GOMAXPROCS). Every plane byte and every error-matrix entry is
+// computed in its own pre-sized slot from the same operands, so the
+// encoding is bit-identical for every worker count.
+func EncodeLevelWorkers(coeffs []float64, planes, workers int) (*LevelEncoding, error) {
+	return EncodeLevelModeWorkers(coeffs, planes, Negabinary, workers)
 }
 
 // EncodeLevelMode encodes coeffs under the chosen plane representation.
 func EncodeLevelMode(coeffs []float64, planes int, mode Mode) (*LevelEncoding, error) {
+	return EncodeLevelModeWorkers(coeffs, planes, mode, 1)
+}
+
+// EncodeLevelModeWorkers encodes coeffs under the chosen plane
+// representation on a bounded worker pool.
+//
+// Adversarial inputs are handled deterministically rather than poisoning
+// the planes: NaN quantizes to zero, ±Inf saturates to the level's
+// quantization limit, and non-finite coefficients are excluded from both
+// the alignment exponent and the error matrix (no finite plane prefix can
+// bound the error of a non-finite value). A level whose magnitudes all
+// underflow the quantization unit (denormals) encodes as all-zero planes
+// with the residual max magnitude recorded in every error-matrix entry.
+func EncodeLevelModeWorkers(coeffs []float64, planes int, mode Mode, workers int) (*LevelEncoding, error) {
 	if planes < 1 || planes > 60 {
 		return nil, fmt.Errorf("bitplane: planes %d out of range [1,60]", planes)
 	}
 	if mode != Negabinary && mode != SignMagnitude {
 		return nil, fmt.Errorf("bitplane: unknown mode %d", mode)
 	}
+	workers = pool.Clamp(workers)
 	n := len(coeffs)
 	enc := &LevelEncoding{
 		N:         n,
@@ -95,66 +121,116 @@ func EncodeLevelMode(coeffs []float64, planes int, mode Mode) (*LevelEncoding, e
 
 	maxAbs := 0.0
 	for _, c := range coeffs {
-		if a := math.Abs(c); a > maxAbs {
+		if a := math.Abs(c); a > maxAbs && !math.IsInf(c, 0) {
 			maxAbs = a
 		}
 	}
 	if maxAbs == 0 || n == 0 {
-		// All-zero level: planes stay zero, errors stay zero. Exponent is
-		// arbitrary; use a sentinel that dequantizes to zero regardless.
+		// All-zero level (or only zeros and non-finite values): planes stay
+		// zero, errors stay zero. Exponent is arbitrary; use a sentinel
+		// that dequantizes to zero regardless.
 		enc.Exponent = math.MinInt16
 		return enc, nil
 	}
-	// Smallest E with maxAbs ≤ 2^E.
+	// Smallest E with maxAbs ≤ 2^E, capped so dequantized values stay
+	// finite at the saturation limit.
 	enc.Exponent = int(math.Ceil(math.Log2(maxAbs)))
 	if math.Pow(2, float64(enc.Exponent)) < maxAbs {
 		enc.Exponent++ // guard against log2 rounding
+	}
+	if enc.Exponent > 1023 {
+		enc.Exponent = 1023
 	}
 
 	// Quantize to at most 2^(B-2) so the nega-binary representation fits
 	// in B digits.
 	unit := math.Ldexp(1, enc.Exponent-(planes-2))
 	limit := int64(1) << uint(planes-2)
+	if unit == 0 {
+		// The quantization unit underflowed (a denormal-only level): no
+		// plane can represent anything, so record the residual magnitude
+		// as the error of every prefix and keep the zero-sentinel planes.
+		enc.Exponent = math.MinInt16
+		for b := range enc.ErrMatrix {
+			enc.ErrMatrix[b] = maxAbs
+		}
+		return enc, nil
+	}
 
 	words := make([]uint64, n)
-	for i, c := range coeffs {
-		q := int64(math.Round(c / unit))
-		if q > limit {
-			q = limit
-		} else if q < -limit {
-			q = -limit
+	pool.RunChunks(n, workers, func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			c := coeffs[i]
+			var q int64
+			switch {
+			case math.IsNaN(c):
+				q = 0
+			case math.IsInf(c, 1):
+				q = limit
+			case math.IsInf(c, -1):
+				q = -limit
+			default:
+				q = int64(math.Round(c / unit))
+				if q > limit {
+					q = limit
+				} else if q < -limit {
+					q = -limit
+				}
+			}
+			words[i] = encodeWord(q, planes, mode)
 		}
-		words[i] = encodeWord(q, planes, mode)
-	}
+		return nil
+	})
 
 	// Slice into planes, MSB first (plane 0 is the sign plane in
-	// sign-magnitude mode).
-	for i, w := range words {
-		byteIx, bitIx := i>>3, uint(i&7)
-		for k := 0; k < planes; k++ {
-			if w>>(uint(planes-1-k))&1 == 1 {
-				enc.Bits[k][byteIx] |= 1 << bitIx
+	// sign-magnitude mode). Chunking by plane byte keeps each worker's
+	// writes on disjoint bytes of every plane.
+	pool.RunChunks(planeBytes, workers, func(_, lo, hi int) error {
+		for byteIx := lo; byteIx < hi; byteIx++ {
+			end := (byteIx + 1) * 8
+			if end > n {
+				end = n
+			}
+			for i := byteIx * 8; i < end; i++ {
+				w := words[i]
+				bitIx := uint(i & 7)
+				for k := 0; k < planes; k++ {
+					if w>>(uint(planes-1-k))&1 == 1 {
+						enc.Bits[k][byteIx] |= 1 << bitIx
+					}
+				}
 			}
 		}
-	}
+		return nil
+	})
 
 	// Collect the error matrix: for each prefix length b, the max abs
 	// difference between the original coefficient and the value decoded
-	// from the first b planes.
-	for b := 0; b <= planes; b++ {
+	// from the first b planes. Each prefix length is one independent task.
+	pool.Run(planes+1, workers, func(_, b int) error {
 		var mask uint64
 		if b > 0 {
 			mask = ((uint64(1) << uint(b)) - 1) << uint(planes-b)
 		}
 		maxErr := 0.0
 		for i, w := range words {
+			if c := coeffs[i]; math.IsNaN(c) || math.IsInf(c, 0) {
+				continue
+			}
 			dec := float64(decodeWord(w&mask, planes, mode)) * unit
-			if e := math.Abs(coeffs[i] - dec); e > maxErr {
+			e := math.Abs(coeffs[i] - dec)
+			if math.IsInf(e, 0) {
+				// A short nega-binary prefix of a near-MaxFloat64 level can
+				// dequantize past the float range; saturate the bound.
+				e = math.MaxFloat64
+			}
+			if e > maxErr {
 				maxErr = e
 			}
 		}
 		enc.ErrMatrix[b] = maxErr
-	}
+		return nil
+	})
 	return enc, nil
 }
 
@@ -203,6 +279,14 @@ func (e *LevelEncoding) unitSize() float64 {
 // DecodePartial reconstructs the level coefficients from the first b planes
 // into dst (allocated if nil) and returns it. b must be in [0, Planes].
 func (e *LevelEncoding) DecodePartial(b int, dst []float64) []float64 {
+	return e.DecodePartialWorkers(b, dst, 1)
+}
+
+// DecodePartialWorkers is DecodePartial fanned across at most `workers`
+// goroutines (≤ 0 means GOMAXPROCS). Each coefficient slot is reconstructed
+// independently from the same plane bytes, so the output is bit-identical
+// for every worker count.
+func (e *LevelEncoding) DecodePartialWorkers(b int, dst []float64, workers int) []float64 {
 	if b < 0 || b > e.Planes {
 		panic(fmt.Sprintf("bitplane: DecodePartial b=%d out of range [0,%d]", b, e.Planes))
 	}
@@ -219,16 +303,19 @@ func (e *LevelEncoding) DecodePartial(b int, dst []float64) []float64 {
 		}
 		return dst
 	}
-	for i := 0; i < e.N; i++ {
-		byteIx, bitIx := i>>3, uint(i&7)
-		var w uint64
-		for k := 0; k < b; k++ {
-			if e.Bits[k][byteIx]>>bitIx&1 == 1 {
-				w |= 1 << uint(e.Planes-1-k)
+	pool.RunChunks(e.N, pool.Clamp(workers), func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			byteIx, bitIx := i>>3, uint(i&7)
+			var w uint64
+			for k := 0; k < b; k++ {
+				if e.Bits[k][byteIx]>>bitIx&1 == 1 {
+					w |= 1 << uint(e.Planes-1-k)
+				}
 			}
+			dst[i] = float64(decodeWord(w, e.Planes, e.Mode)) * unit
 		}
-		dst[i] = float64(decodeWord(w, e.Planes, e.Mode)) * unit
-	}
+		return nil
+	})
 	return dst
 }
 

@@ -25,6 +25,7 @@ import (
 	"pmgard/internal/features"
 	"pmgard/internal/grid"
 	"pmgard/internal/lossless"
+	"pmgard/internal/pool"
 	"pmgard/internal/retrieval"
 	"pmgard/internal/storage"
 )
@@ -42,6 +43,12 @@ type Config struct {
 	// stored in the header for E-MGARD's encoder input (§III-D). 0 uses
 	// the default of 64.
 	PoolSize int
+	// Parallelism is the worker count used by every stage of the pipeline
+	// (decomposition passes, bit-plane encoding, lossless coding). 0 (the
+	// default) uses one worker per CPU; 1 forces the sequential path. The
+	// produced bytes are identical for every value — fan-out writes into
+	// pre-sized (level, plane) slots, never appends.
+	Parallelism int
 }
 
 // DefaultConfig mirrors the paper's setup: a five-level hierarchy with 32
@@ -175,10 +182,13 @@ type Compressed struct {
 	segments [][][]byte
 }
 
-// Compress runs the full compression pipeline on a field.
+// Compress runs the full compression pipeline on a field, fanning each
+// stage across cfg.Parallelism workers. The output is byte-identical for
+// every worker count.
 func Compress(t *grid.Tensor, cfg Config, fieldName string, timestep int) (*Compressed, error) {
 	cfg = cfg.withDefaults()
-	dec, err := decompose.Decompose(t, cfg.Decompose)
+	workers := pool.Clamp(cfg.Parallelism)
+	dec, err := decompose.DecomposeWorkers(t, cfg.Decompose, workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: decompose: %w", err)
 	}
@@ -198,7 +208,7 @@ func Compress(t *grid.Tensor, cfg Config, fieldName string, timestep int) (*Comp
 	}
 	c := &Compressed{segments: make([][][]byte, dec.Levels())}
 	for l := 0; l < dec.Levels(); l++ {
-		enc, err := bitplane.EncodeLevel(dec.Coeffs(l), cfg.Planes)
+		enc, err := bitplane.EncodeLevelWorkers(dec.Coeffs(l), cfg.Planes, workers)
 		if err != nil {
 			return nil, fmt.Errorf("core: encode level %d: %w", l, err)
 		}
@@ -209,13 +219,12 @@ func Compress(t *grid.Tensor, cfg Config, fieldName string, timestep int) (*Comp
 			PlaneSizes:   make([]int64, cfg.Planes),
 			RawPlaneSize: enc.PlaneSizeRaw(),
 		}
-		c.segments[l] = make([][]byte, cfg.Planes)
-		for k := 0; k < cfg.Planes; k++ {
-			seg, err := cfg.Codec.Compress(enc.Bits[k])
-			if err != nil {
-				return nil, fmt.Errorf("core: compress level %d plane %d: %w", l, k, err)
-			}
-			c.segments[l][k] = seg
+		segs, err := lossless.CompressSegments(cfg.Codec, enc.Bits, workers)
+		if err != nil {
+			return nil, fmt.Errorf("core: compress level %d: %w", l, err)
+		}
+		c.segments[l] = segs
+		for k, seg := range segs {
 			lm.PlaneSizes[k] = int64(len(seg))
 		}
 		h.Levels = append(h.Levels, lm)
@@ -224,8 +233,11 @@ func Compress(t *grid.Tensor, cfg Config, fieldName string, timestep int) (*Comp
 	return c, nil
 }
 
-// SegmentSource yields compressed plane payloads during retrieval. Both the
-// in-memory Compressed and the file-backed StoreSource implement it.
+// SegmentSource yields compressed plane payloads during retrieval.
+// Implementations must be safe for concurrent Segment calls: the parallel
+// retrieval path fetches independent (level, plane) segments from multiple
+// goroutines. Every built-in source (Compressed, StoreSource, the faults
+// and storage wrappers) satisfies this.
 type SegmentSource interface {
 	// Segment returns the compressed payload of plane k of level l.
 	Segment(level, plane int) ([]byte, error)
@@ -289,42 +301,80 @@ func OpenFile(path string) (*Header, *storage.Store, error) {
 }
 
 // Retrieve fetches the planes named by plan from src, decodes them and
-// recomposes the approximate field.
+// recomposes the approximate field, using one worker per CPU.
 func Retrieve(h *Header, src SegmentSource, plan retrieval.Plan) (*grid.Tensor, error) {
-	if len(plan.Planes) != len(h.Levels) {
-		return nil, fmt.Errorf("core: plan has %d levels, header %d", len(plan.Planes), len(h.Levels))
-	}
+	return RetrieveWorkers(h, src, plan, 0)
+}
+
+// planeJob names one (level, plane) segment a retrieval must fetch.
+type planeJob struct{ level, plane int }
+
+// fetchLevels fetches and decodes the planes selected by plan for levels
+// 0..upTo from src into dec's coefficient levels, fanning segment fetch and
+// decompression across the worker pool. Every segment lands in the
+// pre-sized slot for its (level, plane), and on failure the error of the
+// lowest (level, plane) in fetch order is returned, so behavior is
+// identical for every worker count.
+func fetchLevels(h *Header, src SegmentSource, plan retrieval.Plan, dec *decompose.Decomposition, upTo, workers int) error {
 	codec, err := lossless.ByName(h.CodecName)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	dec, err := decompose.NewZero(h.Dims, h.DecomposeOptions())
-	if err != nil {
-		return nil, err
-	}
-	for l, lm := range h.Levels {
+	encs := make([]*bitplane.LevelEncoding, upTo+1)
+	var jobs []planeJob
+	for l := 0; l <= upTo; l++ {
+		lm := h.Levels[l]
 		b := plan.Planes[l]
 		if b < 0 || b > h.Planes {
-			return nil, fmt.Errorf("core: level %d plane count %d out of range", l, b)
+			return fmt.Errorf("core: level %d plane count %d out of range", l, b)
 		}
-		enc := &bitplane.LevelEncoding{
+		encs[l] = &bitplane.LevelEncoding{
 			N:        lm.N,
 			Planes:   h.Planes,
 			Exponent: lm.Exponent,
 			Bits:     make([][]byte, h.Planes),
 		}
 		for k := 0; k < b; k++ {
-			seg, err := src.Segment(l, k)
-			if err != nil {
-				return nil, err
-			}
-			raw, err := codec.Decompress(seg, lm.RawPlaneSize)
-			if err != nil {
-				return nil, fmt.Errorf("core: level %d plane %d: %w", l, k, err)
-			}
-			enc.Bits[k] = raw
+			jobs = append(jobs, planeJob{level: l, plane: k})
 		}
-		enc.DecodePartial(b, dec.Coeffs(l))
+	}
+	err = pool.Run(len(jobs), workers, func(_, i int) error {
+		j := jobs[i]
+		seg, err := src.Segment(j.level, j.plane)
+		if err != nil {
+			return err
+		}
+		raw, err := codec.Decompress(seg, h.Levels[j.level].RawPlaneSize)
+		if err != nil {
+			return fmt.Errorf("core: level %d plane %d: %w", j.level, j.plane, err)
+		}
+		encs[j.level].Bits[j.plane] = raw
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for l := 0; l <= upTo; l++ {
+		encs[l].DecodePartialWorkers(plan.Planes[l], dec.Coeffs(l), workers)
+	}
+	return nil
+}
+
+// RetrieveWorkers is Retrieve with an explicit worker count for the fetch,
+// decompress, decode and recompose stages (≤ 0 means one worker per CPU;
+// 1 forces the sequential path). The reconstruction is bit-identical for
+// every worker count.
+func RetrieveWorkers(h *Header, src SegmentSource, plan retrieval.Plan, workers int) (*grid.Tensor, error) {
+	if len(plan.Planes) != len(h.Levels) {
+		return nil, fmt.Errorf("core: plan has %d levels, header %d", len(plan.Planes), len(h.Levels))
+	}
+	workers = pool.Clamp(workers)
+	dec, err := decompose.NewZeroWorkers(h.Dims, h.DecomposeOptions(), workers)
+	if err != nil {
+		return nil, err
+	}
+	if err := fetchLevels(h, src, plan, dec, len(h.Levels)-1, workers); err != nil {
+		return nil, err
 	}
 	return dec.Recompose(), nil
 }
@@ -332,22 +382,34 @@ func Retrieve(h *Header, src SegmentSource, plan retrieval.Plan) (*grid.Tensor, 
 // RetrieveTolerance plans with the given estimator at an absolute tolerance
 // and retrieves. It returns the reconstruction and the executed plan.
 func RetrieveTolerance(h *Header, src SegmentSource, est retrieval.ErrorEstimator, tol float64) (*grid.Tensor, retrieval.Plan, error) {
+	return RetrieveToleranceWorkers(h, src, est, tol, 0)
+}
+
+// RetrieveToleranceWorkers is RetrieveTolerance with an explicit worker
+// count for the retrieval stages.
+func RetrieveToleranceWorkers(h *Header, src SegmentSource, est retrieval.ErrorEstimator, tol float64, workers int) (*grid.Tensor, retrieval.Plan, error) {
 	plan, err := retrieval.GreedyPlan(h.LevelInfos(), est, tol)
 	if err != nil {
 		return nil, retrieval.Plan{}, err
 	}
-	rec, err := Retrieve(h, src, plan)
+	rec, err := RetrieveWorkers(h, src, plan, workers)
 	return rec, plan, err
 }
 
 // RetrievePlanes retrieves with an externally supplied per-level plane
 // assignment — the D-MGARD integration point.
 func RetrievePlanes(h *Header, src SegmentSource, planes []int) (*grid.Tensor, retrieval.Plan, error) {
+	return RetrievePlanesWorkers(h, src, planes, 0)
+}
+
+// RetrievePlanesWorkers is RetrievePlanes with an explicit worker count for
+// the retrieval stages.
+func RetrievePlanesWorkers(h *Header, src SegmentSource, planes []int, workers int) (*grid.Tensor, retrieval.Plan, error) {
 	plan, err := retrieval.PlanForPlanes(h.LevelInfos(), planes)
 	if err != nil {
 		return nil, retrieval.Plan{}, err
 	}
-	rec, err := Retrieve(h, src, plan)
+	rec, err := RetrieveWorkers(h, src, plan, workers)
 	return rec, plan, err
 }
 
@@ -369,35 +431,13 @@ func RetrieveResolution(h *Header, src SegmentSource, planes []int, upTo int) (*
 	if err != nil {
 		return nil, retrieval.Plan{}, err
 	}
-	codec, err := lossless.ByName(h.CodecName)
+	workers := pool.Clamp(0)
+	dec, err := decompose.NewZeroWorkers(h.Dims, h.DecomposeOptions(), workers)
 	if err != nil {
 		return nil, retrieval.Plan{}, err
 	}
-	dec, err := decompose.NewZero(h.Dims, h.DecomposeOptions())
-	if err != nil {
+	if err := fetchLevels(h, src, plan, dec, upTo, workers); err != nil {
 		return nil, retrieval.Plan{}, err
-	}
-	for l := 0; l <= upTo; l++ {
-		lm := h.Levels[l]
-		b := plan.Planes[l]
-		enc := &bitplane.LevelEncoding{
-			N:        lm.N,
-			Planes:   h.Planes,
-			Exponent: lm.Exponent,
-			Bits:     make([][]byte, h.Planes),
-		}
-		for k := 0; k < b; k++ {
-			seg, err := src.Segment(l, k)
-			if err != nil {
-				return nil, retrieval.Plan{}, err
-			}
-			raw, err := codec.Decompress(seg, lm.RawPlaneSize)
-			if err != nil {
-				return nil, retrieval.Plan{}, fmt.Errorf("core: level %d plane %d: %w", l, k, err)
-			}
-			enc.Bits[k] = raw
-		}
-		enc.DecodePartial(b, dec.Coeffs(l))
 	}
 	coarse, err := dec.RecomposeLevel(upTo)
 	if err != nil {

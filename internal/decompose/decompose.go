@@ -31,6 +31,7 @@ import (
 
 	"pmgard/internal/grid"
 	"pmgard/internal/interleave"
+	"pmgard/internal/pool"
 )
 
 // Options configures a decomposition.
@@ -93,14 +94,26 @@ func (o Options) NaiveErrorAmplification(rank int) float64 {
 // Decomposition holds the per-level coefficient streams of one field
 // together with the plan needed to recompose them.
 type Decomposition struct {
-	plan   *interleave.Plan
-	opt    Options
-	coeffs [][]float64
+	plan    *interleave.Plan
+	opt     Options
+	coeffs  [][]float64
+	workers int
 }
 
 // Decompose transforms t into multilevel coefficients. The input tensor is
-// not modified.
+// not modified. The transform runs sequentially; use DecomposeWorkers for
+// the parallel path.
 func Decompose(t *grid.Tensor, opt Options) (*Decomposition, error) {
+	return DecomposeWorkers(t, opt, 1)
+}
+
+// DecomposeWorkers transforms t into multilevel coefficients, fanning the
+// independent grid lines of each lifting pass across at most `workers`
+// goroutines (≤ 0 means GOMAXPROCS). Every node is computed from the same
+// operands in the same order regardless of worker count, so the resulting
+// coefficients are bit-identical to the sequential transform. The returned
+// Decomposition remembers the worker count and applies it to Recompose.
+func DecomposeWorkers(t *grid.Tensor, opt Options, workers int) (*Decomposition, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
@@ -108,9 +121,10 @@ func Decompose(t *grid.Tensor, opt Options) (*Decomposition, error) {
 	if err != nil {
 		return nil, err
 	}
+	workers = pool.Clamp(workers)
 	work := t.Clone()
-	forward(work, opt)
-	d := &Decomposition{plan: plan, opt: opt, coeffs: make([][]float64, opt.Levels)}
+	forward(work, opt, workers)
+	d := &Decomposition{plan: plan, opt: opt, coeffs: make([][]float64, opt.Levels), workers: workers}
 	for l := 0; l < opt.Levels; l++ {
 		d.coeffs[l] = plan.Extract(work.Data(), l, nil)
 	}
@@ -121,6 +135,13 @@ func Decompose(t *grid.Tensor, opt Options) (*Decomposition, error) {
 // given grid shape — the starting point when reassembling a partial
 // retrieval from storage.
 func NewZero(dims []int, opt Options) (*Decomposition, error) {
+	return NewZeroWorkers(dims, opt, 1)
+}
+
+// NewZeroWorkers is NewZero with a worker count for the recomposition path
+// (≤ 0 means GOMAXPROCS). Worker count never changes the reconstructed
+// bytes, only how many goroutines compute them.
+func NewZeroWorkers(dims []int, opt Options, workers int) (*Decomposition, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
@@ -128,12 +149,19 @@ func NewZero(dims []int, opt Options) (*Decomposition, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &Decomposition{plan: plan, opt: opt, coeffs: make([][]float64, opt.Levels)}
+	d := &Decomposition{plan: plan, opt: opt, coeffs: make([][]float64, opt.Levels), workers: pool.Clamp(workers)}
 	for l, n := range plan.LevelSizes() {
 		d.coeffs[l] = make([]float64, n)
 	}
 	return d, nil
 }
+
+// Workers returns the effective worker count used by the transform passes.
+func (d *Decomposition) Workers() int { return d.workers }
+
+// SetWorkers changes the worker count used by later Recompose calls (≤ 0
+// means GOMAXPROCS).
+func (d *Decomposition) SetWorkers(workers int) { d.workers = pool.Clamp(workers) }
 
 // Plan returns the interleave plan of the decomposition.
 func (d *Decomposition) Plan() *interleave.Plan { return d.plan }
@@ -161,10 +189,11 @@ func (d *Decomposition) SetCoeffs(l int, c []float64) {
 	d.coeffs[l] = c
 }
 
-// CloneShape returns a new Decomposition sharing the plan and options but
-// with zero-valued coefficient streams, used to assemble partial retrievals.
+// CloneShape returns a new Decomposition sharing the plan, options and
+// worker count but with zero-valued coefficient streams, used to assemble
+// partial retrievals.
 func (d *Decomposition) CloneShape() *Decomposition {
-	c := &Decomposition{plan: d.plan, opt: d.opt, coeffs: make([][]float64, len(d.coeffs))}
+	c := &Decomposition{plan: d.plan, opt: d.opt, workers: d.workers, coeffs: make([][]float64, len(d.coeffs))}
 	for l := range d.coeffs {
 		c.coeffs[l] = make([]float64, len(d.coeffs[l]))
 	}
@@ -172,13 +201,13 @@ func (d *Decomposition) CloneShape() *Decomposition {
 }
 
 // Recompose reconstructs the spatial field from the current coefficient
-// streams.
+// streams, using the decomposition's worker count for the inverse passes.
 func (d *Decomposition) Recompose() *grid.Tensor {
 	work := grid.New(d.plan.Dims()...)
 	for l := 0; l < d.opt.Levels; l++ {
 		d.plan.Inject(work.Data(), l, d.coeffs[l])
 	}
-	inverse(work, d.opt)
+	inverse(work, d.opt, pool.Clamp(d.workers))
 	return work
 }
 
@@ -201,7 +230,7 @@ func (d *Decomposition) RecomposeLevel(upTo int) (*grid.Tensor, error) {
 	for s := d.opt.Levels - 2; s >= stop; s-- {
 		h := 1 << s
 		for axis := rank - 1; axis >= 0; axis-- {
-			forEachLine(work, h, axis, func(base, stride, count int) {
+			forEachLineWorkers(work, h, axis, pool.Clamp(d.workers), func(base, stride, count int) {
 				if d.opt.Update {
 					updateInverse(work.Data(), base, stride, count, d.opt.UpdateWeight)
 				}
@@ -235,13 +264,16 @@ func (d *Decomposition) RecomposeLevel(upTo int) (*grid.Tensor, error) {
 	return out, nil
 }
 
-// forward applies the full multilevel transform in place.
-func forward(t *grid.Tensor, opt Options) {
+// forward applies the full multilevel transform in place. Within one
+// (step, axis) pass every line is an independent slab — lines along the
+// pass axis share no nodes — so the pass fans out across workers; passes
+// themselves are barriers, preserving the sequential dataflow exactly.
+func forward(t *grid.Tensor, opt Options, workers int) {
 	rank := t.NDim()
 	for s := 0; s < opt.Levels-1; s++ {
 		h := 1 << s
 		for axis := 0; axis < rank; axis++ {
-			forEachLine(t, h, axis, func(base, stride, count int) {
+			forEachLineWorkers(t, h, axis, workers, func(base, stride, count int) {
 				predictForward(t.Data(), base, stride, count)
 				if opt.Update {
 					updateForward(t.Data(), base, stride, count, opt.UpdateWeight)
@@ -251,13 +283,14 @@ func forward(t *grid.Tensor, opt Options) {
 	}
 }
 
-// inverse applies the full inverse transform in place.
-func inverse(t *grid.Tensor, opt Options) {
+// inverse applies the full inverse transform in place, with the same
+// per-pass line fan-out as forward.
+func inverse(t *grid.Tensor, opt Options, workers int) {
 	rank := t.NDim()
 	for s := opt.Levels - 2; s >= 0; s-- {
 		h := 1 << s
 		for axis := rank - 1; axis >= 0; axis-- {
-			forEachLine(t, h, axis, func(base, stride, count int) {
+			forEachLineWorkers(t, h, axis, workers, func(base, stride, count int) {
 				if opt.Update {
 					updateInverse(t.Data(), base, stride, count, opt.UpdateWeight)
 				}
@@ -265,6 +298,36 @@ func inverse(t *grid.Tensor, opt Options) {
 			})
 		}
 	}
+}
+
+// forEachLineWorkers is forEachLine with the lines of one pass distributed
+// across a bounded worker pool. The sequential path (workers == 1) avoids
+// materializing the line list; the parallel path enumerates line base
+// offsets once and hands each worker a contiguous chunk. Lines are disjoint
+// node sets, so scheduling cannot change any computed value.
+func forEachLineWorkers(t *grid.Tensor, h, axis, workers int, fn func(base, stride, count int)) {
+	if workers <= 1 {
+		forEachLine(t, h, axis, fn)
+		return
+	}
+	var bases []int
+	stride, count := 0, 0
+	forEachLine(t, h, axis, func(base, s, c int) {
+		bases = append(bases, base)
+		stride, count = s, c
+	})
+	if len(bases) < 2 {
+		for _, b := range bases {
+			fn(b, stride, count)
+		}
+		return
+	}
+	pool.RunChunks(len(bases), workers, func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			fn(bases[i], stride, count)
+		}
+		return nil
+	})
 }
 
 // forEachLine invokes fn for every 1-D line of the step-h active grid along

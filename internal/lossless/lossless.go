@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"pmgard/internal/pool"
 )
 
 // Codec compresses and decompresses byte segments.
@@ -94,6 +96,47 @@ func (deflateCodec) Decompress(src []byte, size int) ([]byte, error) {
 	}
 	if len(out) != size {
 		return nil, fmt.Errorf("lossless: deflate decoded %d bytes, want %d", len(out), size)
+	}
+	return out, nil
+}
+
+// CompressSegments compresses every segment with codec on a bounded worker
+// pool (workers ≤ 0 means GOMAXPROCS). Each result lands in the output slot
+// matching its input index, so the slice is identical for every worker
+// count; on failure the error from the lowest-indexed segment is returned.
+func CompressSegments(codec Codec, segments [][]byte, workers int) ([][]byte, error) {
+	out := make([][]byte, len(segments))
+	err := pool.Run(len(segments), workers, func(_, i int) error {
+		enc, err := codec.Compress(segments[i])
+		if err != nil {
+			return fmt.Errorf("segment %d: %w", i, err)
+		}
+		out[i] = enc
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecompressSegments reverses CompressSegments: segment i decodes to
+// sizes[i] bytes. The same slot-per-index determinism contract applies.
+func DecompressSegments(codec Codec, segments [][]byte, sizes []int, workers int) ([][]byte, error) {
+	if len(segments) != len(sizes) {
+		return nil, fmt.Errorf("lossless: %d segments but %d sizes", len(segments), len(sizes))
+	}
+	out := make([][]byte, len(segments))
+	err := pool.Run(len(segments), workers, func(_, i int) error {
+		dec, err := codec.Decompress(segments[i], sizes[i])
+		if err != nil {
+			return fmt.Errorf("segment %d: %w", i, err)
+		}
+		out[i] = dec
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

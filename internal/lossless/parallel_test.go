@@ -1,0 +1,68 @@
+package lossless
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestSegmentsRoundTripAllWorkers round-trips random segment batches through
+// every codec at several worker counts and asserts byte-identical results.
+func TestSegmentsRoundTripAllWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	segments := make([][]byte, 40)
+	sizes := make([]int, len(segments))
+	for i := range segments {
+		seg := make([]byte, rng.Intn(4096))
+		if i%3 == 0 {
+			rng.Read(seg) // incompressible
+		} // else near-constant, compresses well
+		segments[i] = seg
+		sizes[i] = len(seg)
+	}
+	for _, name := range []string{"deflate", "rle", "huffman", "raw"} {
+		codec, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := CompressSegments(codec, segments, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, workers := range []int{2, 8, 0} {
+			enc, err := CompressSegments(codec, segments, workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			for i := range enc {
+				if !bytes.Equal(enc[i], ref[i]) {
+					t.Fatalf("%s workers=%d: segment %d differs from sequential", name, workers, i)
+				}
+			}
+			dec, err := DecompressSegments(codec, enc, sizes, workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d decompress: %v", name, workers, err)
+			}
+			for i := range dec {
+				if !bytes.Equal(dec[i], segments[i]) {
+					t.Fatalf("%s workers=%d: segment %d did not round-trip", name, workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestDecompressSegmentsSizeMismatch pins the lowest-index error contract
+// for a corrupt batch.
+func TestDecompressSegmentsSizeMismatch(t *testing.T) {
+	codec := Raw()
+	segs := [][]byte{{1, 2}, {3}, {4, 5, 6}}
+	if _, err := DecompressSegments(codec, segs, []int{2, 1}, 4); err == nil {
+		t.Fatal("length mismatch not rejected")
+	}
+	bad := []int{2, 9, 9} // segments 1 and 2 both wrong; expect segment 1 reported
+	_, err := DecompressSegments(codec, segs, bad, 4)
+	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("segment 1")) {
+		t.Fatalf("err = %v, want lowest-index segment error", err)
+	}
+}

@@ -92,6 +92,18 @@ func (l *Linear) Backward(grad *Mat) *Mat {
 // Params implements Layer.
 func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
 
+// Replica implements Replicable: the copy shares the weight and bias values
+// with the original but owns fresh gradient accumulators and an independent
+// activation cache.
+func (l *Linear) Replica() Layer {
+	return &Linear{
+		In:  l.In,
+		Out: l.Out,
+		W:   &Param{Value: l.W.Value, Grad: make([]float64, len(l.W.Grad))},
+		B:   &Param{Value: l.B.Value, Grad: make([]float64, len(l.B.Grad))},
+	}
+}
+
 // LeakyReLU applies max(x, alpha·x) elementwise. The paper's D-MGARD MLPs
 // use alpha-leaky rectifiers between the hidden layers.
 type LeakyReLU struct {
@@ -135,6 +147,9 @@ func (r *LeakyReLU) Backward(grad *Mat) *Mat {
 // Params implements Layer.
 func (r *LeakyReLU) Params() []*Param { return nil }
 
+// Replica implements Replicable.
+func (r *LeakyReLU) Replica() Layer { return &LeakyReLU{Alpha: r.Alpha} }
+
 // Sequential chains layers.
 type Sequential struct {
 	Layers []Layer
@@ -166,6 +181,29 @@ func (s *Sequential) Params() []*Param {
 		ps = append(ps, l.Params()...)
 	}
 	return ps
+}
+
+// Replicable is implemented by layers that can produce a data-parallel
+// replica: a copy whose Forward/Backward caches and gradient accumulators
+// are private, while parameter values stay shared with the original so an
+// optimizer step on the original is immediately visible to every replica.
+type Replicable interface {
+	// Replica returns the shared-value, private-state copy.
+	Replica() Layer
+}
+
+// Replica builds a data-parallel replica of the whole network. It fails if
+// any layer does not implement Replicable.
+func (s *Sequential) Replica() (*Sequential, error) {
+	layers := make([]Layer, len(s.Layers))
+	for i, l := range s.Layers {
+		r, ok := l.(Replicable)
+		if !ok {
+			return nil, fmt.Errorf("nn: layer %d (%T) is not replicable", i, l)
+		}
+		layers[i] = r.Replica()
+	}
+	return NewSequential(layers...), nil
 }
 
 // ZeroGrad clears all parameter gradients.

@@ -1,0 +1,107 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// trainFixture builds a small regression problem and a fresh MLP with a
+// fixed seed so two training runs start from identical weights.
+func trainFixture(seed int64) (*Sequential, *Mat, *Mat) {
+	rng := rand.New(rand.NewSource(seed))
+	const n, in = 300, 4
+	x := NewMat(n, in)
+	y := NewMat(n, 1)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		y.Row(i)[0] = math.Sin(row[0]) + 0.5*row[1]*row[2] - row[3]
+	}
+	model := MLP(in, []int{16, 16}, 1, 0.01, rand.New(rand.NewSource(seed+1)))
+	return model, x, y
+}
+
+func runTrain(t *testing.T, workers int) ([]float64, []float64) {
+	t.Helper()
+	model, x, y := trainFixture(9)
+	hist, err := Train(model, x, y, TrainConfig{
+		Epochs:    4,
+		BatchSize: 150,
+		Seed:      123,
+		Loss:      Huber{Delta: 1},
+		Optimizer: NewAdam(1e-3),
+		Workers:   workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var weights []float64
+	for _, p := range model.Params() {
+		weights = append(weights, p.Value...)
+	}
+	return hist, weights
+}
+
+// TestTrainWorkersBitIdentical asserts the data-parallel trainer's
+// determinism invariant: every worker count > 1 yields bit-identical loss
+// history and final weights, because chunk boundaries and summation order
+// are worker-count independent.
+func TestTrainWorkersBitIdentical(t *testing.T) {
+	refHist, refW := runTrain(t, 2)
+	for _, workers := range []int{3, 8} {
+		hist, w := runTrain(t, workers)
+		for i := range refHist {
+			if math.Float64bits(hist[i]) != math.Float64bits(refHist[i]) {
+				t.Fatalf("workers=%d: epoch %d loss %g != %g", workers, i, hist[i], refHist[i])
+			}
+		}
+		for i := range refW {
+			if math.Float64bits(w[i]) != math.Float64bits(refW[i]) {
+				t.Fatalf("workers=%d: weight %d differs (%g vs %g)", workers, i, w[i], refW[i])
+			}
+		}
+	}
+}
+
+// TestTrainWorkersMatchesSequentialClosely checks the parallel gradient is
+// the same mathematical quantity as the sequential one: after identical
+// short runs the loss trajectories agree to rounding-level tolerance (the
+// chunked summation order is the only difference).
+func TestTrainWorkersMatchesSequentialClosely(t *testing.T) {
+	seqHist, seqW := runTrain(t, 1)
+	parHist, parW := runTrain(t, 4)
+	for i := range seqHist {
+		if d := math.Abs(seqHist[i] - parHist[i]); d > 1e-9*(1+math.Abs(seqHist[i])) {
+			t.Fatalf("epoch %d: sequential loss %g vs parallel %g", i, seqHist[i], parHist[i])
+		}
+	}
+	for i := range seqW {
+		if d := math.Abs(seqW[i] - parW[i]); d > 1e-6*(1+math.Abs(seqW[i])) {
+			t.Fatalf("weight %d: sequential %g vs parallel %g", i, seqW[i], parW[i])
+		}
+	}
+}
+
+// TestReplicaSharesValuesOwnsGrads pins the replica aliasing contract.
+func TestReplicaSharesValuesOwnsGrads(t *testing.T) {
+	model := MLP(3, []int{5}, 1, 0.01, rand.New(rand.NewSource(1)))
+	rep, err := model.Replica()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, rp := model.Params(), rep.Params()
+	if len(mp) != len(rp) {
+		t.Fatalf("replica has %d params, want %d", len(rp), len(mp))
+	}
+	for i := range mp {
+		if &mp[i].Value[0] != &rp[i].Value[0] {
+			t.Fatalf("param %d: replica does not share values", i)
+		}
+		if &mp[i].Grad[0] == &rp[i].Grad[0] {
+			t.Fatalf("param %d: replica shares gradients", i)
+		}
+	}
+}

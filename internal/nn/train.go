@@ -4,7 +4,16 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"pmgard/internal/pool"
 )
+
+// microBatchRows is the fixed micro-batch size the data-parallel trainer
+// chunks each mini-batch into. The chunk size is deliberately independent of
+// the worker count: chunk boundaries (and therefore every floating-point
+// summation order) depend only on the batch, so gradients are bit-identical
+// whether 2 or 32 workers execute the chunks.
+const microBatchRows = 64
 
 // TrainConfig configures a mini-batch training run.
 type TrainConfig struct {
@@ -29,6 +38,14 @@ type TrainConfig struct {
 	// Patience, if positive, stops training once the validation loss has
 	// not improved for that many consecutive epochs. Requires ValFrac > 0.
 	Patience int
+	// Workers, when > 1, computes each mini-batch's gradient data-parallel:
+	// the batch is cut into fixed-size micro-batches, each replica computes
+	// its chunk's gradient into a private snapshot, and the snapshots are
+	// summed in chunk order weighted by chunk size. The result is
+	// bit-identical for every Workers > 1 value; it differs from the
+	// sequential path (Workers ≤ 1, the default) only by floating-point
+	// summation order, exactly as a different batch size would.
+	Workers int
 }
 
 func (c TrainConfig) validate(n int) error {
@@ -70,6 +87,17 @@ func Train(model *Sequential, x, y *Mat, cfg TrainConfig) ([]float64, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	params := model.Params()
+	var replicas []*Sequential
+	if cfg.Workers > 1 {
+		replicas = make([]*Sequential, cfg.Workers)
+		for w := range replicas {
+			rep, err := model.Replica()
+			if err != nil {
+				return nil, err
+			}
+			replicas[w] = rep
+		}
+	}
 	order := make([]int, x.Rows)
 	for i := range order {
 		order[i] = i
@@ -104,19 +132,24 @@ func Train(model *Sequential, x, y *Mat, cfg TrainConfig) ([]float64, error) {
 			if end > len(order) {
 				end = len(order)
 			}
-			bx := NewMat(end-start, x.Cols)
-			by := NewMat(end-start, y.Cols)
-			for i, ix := range order[start:end] {
-				copy(bx.Row(i), x.Row(ix))
-				copy(by.Row(i), y.Row(ix))
+			var loss float64
+			if replicas != nil {
+				loss = parallelBatch(replicas, x, y, order[start:end], cfg.Loss, params)
+			} else {
+				bx := NewMat(end-start, x.Cols)
+				by := NewMat(end-start, y.Cols)
+				for i, ix := range order[start:end] {
+					copy(bx.Row(i), x.Row(ix))
+					copy(by.Row(i), y.Row(ix))
+				}
+				pred := model.Forward(bx)
+				loss = cfg.Loss.Forward(pred, by)
+				ZeroGrad(params)
+				model.Backward(cfg.Loss.Backward(pred, by))
 			}
-			pred := model.Forward(bx)
-			loss := cfg.Loss.Forward(pred, by)
 			if math.IsNaN(loss) || math.IsInf(loss, 0) {
 				return history, fmt.Errorf("nn: loss diverged to %v at epoch %d", loss, epoch)
 			}
-			ZeroGrad(params)
-			model.Backward(cfg.Loss.Backward(pred, by))
 			cfg.Optimizer.Step(params)
 			epochLoss += loss
 			batches++
@@ -139,6 +172,62 @@ func Train(model *Sequential, x, y *Mat, cfg TrainConfig) ([]float64, error) {
 		}
 	}
 	return history, nil
+}
+
+// parallelBatch computes the loss and parameter gradients for the batch
+// rows idx by fanning fixed-size micro-batches across the replicas. Each
+// chunk's loss and gradient land in a snapshot slot indexed by chunk, and
+// the snapshots are combined sequentially in chunk order weighted by chunk
+// size, so the accumulated gradient in params is independent of the number
+// of replicas. The batch loss is left for the caller to check and the
+// optimizer step is the caller's too — during the fan-out, parameter values
+// are strictly read-only.
+func parallelBatch(replicas []*Sequential, x, y *Mat, idx []int, loss Loss, params []*Param) float64 {
+	nChunks := (len(idx) + microBatchRows - 1) / microBatchRows
+	type snapshot struct {
+		rows  int
+		loss  float64
+		grads [][]float64
+	}
+	snaps := make([]snapshot, nChunks)
+	pool.Run(nChunks, len(replicas), func(worker, c int) error {
+		rep := replicas[worker]
+		repParams := rep.Params()
+		lo := c * microBatchRows
+		hi := lo + microBatchRows
+		if hi > len(idx) {
+			hi = len(idx)
+		}
+		bx := NewMat(hi-lo, x.Cols)
+		by := NewMat(hi-lo, y.Cols)
+		for i, ix := range idx[lo:hi] {
+			copy(bx.Row(i), x.Row(ix))
+			copy(by.Row(i), y.Row(ix))
+		}
+		pred := rep.Forward(bx)
+		ZeroGrad(repParams)
+		rep.Backward(loss.Backward(pred, by))
+		grads := make([][]float64, len(repParams))
+		for p, rp := range repParams {
+			grads[p] = append([]float64(nil), rp.Grad...)
+		}
+		snaps[c] = snapshot{rows: hi - lo, loss: loss.Forward(pred, by), grads: grads}
+		return nil
+	})
+	total := float64(len(idx))
+	ZeroGrad(params)
+	batchLoss := 0.0
+	for _, s := range snaps {
+		wgt := float64(s.rows) / total
+		batchLoss += s.loss * wgt
+		for p, g := range s.grads {
+			dst := params[p].Grad
+			for i, v := range g {
+				dst[i] += v * wgt
+			}
+		}
+	}
+	return batchLoss
 }
 
 // Predict runs the model over x in inference mode and returns the outputs.

@@ -235,7 +235,15 @@ func (r *RetryingSource) readOnce(level, plane int) ([]byte, error) {
 	ch := make(chan result, 1)
 	go func() {
 		p, err := r.src.Segment(level, plane)
-		ch <- result{p, err}
+		// Non-blocking send: once the caller has taken the timeout or
+		// cancellation branch nobody ever receives, and a blocking send
+		// would pin this goroutine (and the payload) forever. The buffer
+		// makes the default branch unreachable today, but the send must
+		// not rely on that.
+		select {
+		case ch <- result{p, err}:
+		default:
+		}
 	}()
 	var timeout <-chan time.Time
 	if r.pol.Timeout > 0 {

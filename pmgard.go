@@ -84,9 +84,17 @@ func Compress(t *Tensor, cfg Config, fieldName string, timestep int) (*Compresse
 // OpenFile opens a compressed field file written by Compressed.WriteFile.
 func OpenFile(path string) (*Header, *Store, error) { return core.OpenFile(path) }
 
-// Retrieve fetches the planes named by plan and recomposes the field.
+// Retrieve fetches the planes named by plan and recomposes the field, using
+// one worker per CPU.
 func Retrieve(h *Header, src SegmentSource, plan Plan) (*Tensor, error) {
 	return core.Retrieve(h, src, plan)
+}
+
+// RetrieveWorkers is Retrieve with an explicit worker count (≤ 0 means one
+// worker per CPU; 1 forces the sequential path). The reconstruction is
+// bit-identical for every worker count.
+func RetrieveWorkers(h *Header, src SegmentSource, plan Plan, workers int) (*Tensor, error) {
+	return core.RetrieveWorkers(h, src, plan, workers)
 }
 
 // RetrieveTolerance plans greedily under est at an absolute tolerance and
