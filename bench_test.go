@@ -10,12 +10,14 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 	"testing"
 
 	"pmgard/internal/bitplane"
 	"pmgard/internal/decompose"
 	"pmgard/internal/experiments"
 	"pmgard/internal/nn"
+	"pmgard/internal/obs"
 	"pmgard/internal/retrieval"
 	"pmgard/internal/sim/grayscott"
 	"pmgard/internal/sim/warpx"
@@ -215,15 +217,31 @@ var benchWorkerCounts = []int{1, 2, 4, 8}
 // BenchmarkRefactor measures the full write path (decompose + bit-plane
 // encode + lossless) on a 33³ field across worker counts. The output bytes
 // are identical at every count; only the wall clock moves.
+//
+// When PMGARD_METRICS_OUT names a file, the benchmark runs with metrics
+// enabled and writes the registry snapshot there on completion — CI's
+// metrics-smoke step validates it with cmd/obscheck. Timings from such a
+// run include the (small) instrumentation cost; leave the variable unset
+// when measuring.
 func BenchmarkRefactor(b *testing.B) {
 	field, err := warpx.DefaultConfig(33, 33, 33).Field("Jx", 5)
 	if err != nil {
 		b.Fatal(err)
 	}
+	var o *obs.Obs
+	if path := os.Getenv("PMGARD_METRICS_OUT"); path != "" {
+		o = obs.New()
+		b.Cleanup(func() {
+			if err := o.Metrics.WriteFile(path); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
 	for _, workers := range benchWorkerCounts {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			cfg := DefaultConfig()
 			cfg.Parallelism = workers
+			cfg.Obs = o
 			b.SetBytes(int64(8 * field.Len()))
 			b.ReportAllocs()
 			b.ResetTimer()

@@ -31,6 +31,7 @@ import (
 	"pmgard/internal/fieldio"
 	"pmgard/internal/grid"
 	"pmgard/internal/lossless"
+	"pmgard/internal/obs"
 	"pmgard/internal/retrieval"
 	"pmgard/internal/storage"
 )
@@ -71,9 +72,15 @@ func cmdCompress(args []string) error {
 	planes := fs.Int("planes", 32, "bit-planes per level")
 	codec := fs.String("codec", "deflate", "lossless codec: deflate, rle, huffman, raw")
 	workers := fs.Int("workers", 0, "pipeline worker count (0 = one per CPU, 1 = sequential)")
+	var of obs.Flags
+	of.Register(fs)
 	fs.Parse(args)
 	if *in == "" || (*out == "" && *tiered == "") {
 		return fmt.Errorf("compress: -in and one of -out/-tiered are required")
+	}
+	o, err := of.Start(os.Stderr)
+	if err != nil {
+		return err
 	}
 	meta, field, err := fieldio.Read(*in)
 	if err != nil {
@@ -88,6 +95,7 @@ func cmdCompress(args []string) error {
 		Planes:      *planes,
 		Codec:       cod,
 		Parallelism: *workers,
+		Obs:         o,
 	}
 	c, err := core.Compress(field, cfg, meta.Field, meta.Timestep)
 	if err != nil {
@@ -108,7 +116,7 @@ func cmdCompress(args []string) error {
 	stored := c.Header.TotalBytes()
 	fmt.Printf("compressed %s (t=%d, dims %v): %d → %d payload bytes (%.2fx)\n",
 		meta.Field, meta.Timestep, field.Dims(), raw, stored, float64(raw)/float64(stored))
-	return nil
+	return of.Finish(o)
 }
 
 func cmdInspect(args []string) error {
@@ -153,9 +161,15 @@ func cmdRetrieve(args []string) error {
 	faultSeed := fs.Int64("fault-seed", 1, "seed for deterministic fault injection")
 	retries := fs.Int("retries", 0, "max read attempts per segment through the retry layer (0 = library default)")
 	workers := fs.Int("workers", 0, "retrieval worker count (0 = one per CPU, 1 = sequential)")
+	var of obs.Flags
+	of.Register(fs)
 	fs.Parse(args)
 	if *in == "" && *tiered == "" {
 		return fmt.Errorf("retrieve: -in or -tiered is required")
+	}
+	o, oErr := of.Start(os.Stderr)
+	if oErr != nil {
+		return oErr
 	}
 	var h *core.Header
 	var src core.SegmentSource
@@ -168,6 +182,7 @@ func cmdRetrieve(args []string) error {
 			return err
 		}
 		defer tieredStore.Close()
+		tieredStore.Instrument(o)
 		src = core.TieredSource{Store: tieredStore}
 	} else {
 		var err error
@@ -187,6 +202,9 @@ func cmdRetrieve(args []string) error {
 	if *faultRate > 0 || *retries > 0 {
 		if *faultRate > 0 {
 			flaky = faults.WrapSource(src, faults.Config{Seed: *faultSeed, TransientRate: *faultRate})
+			if o != nil {
+				flaky.Instrument(o)
+			}
 			src = flaky
 		}
 		pol := storage.DefaultRetryPolicy()
@@ -194,6 +212,9 @@ func cmdRetrieve(args []string) error {
 			pol.MaxAttempts = *retries
 		}
 		retrying = storage.NewRetryingSource(nil, src, pol)
+		if o != nil {
+			retrying.Instrument(o)
+		}
 		src = retrying
 	}
 
@@ -210,7 +231,7 @@ func cmdRetrieve(args []string) error {
 	var err error
 	switch *control {
 	case "theory":
-		rec, plan, err = core.RetrieveToleranceWorkers(h, src, h.TheoryEstimator(), tol, *workers)
+		rec, plan, err = core.RetrieveToleranceObs(h, src, h.TheoryEstimator(), tol, *workers, o)
 	case "emgard":
 		if *model == "" {
 			return fmt.Errorf("retrieve: -control emgard requires -model")
@@ -225,7 +246,7 @@ func cmdRetrieve(args []string) error {
 		if err != nil {
 			return err
 		}
-		rec, plan, err = core.RetrieveToleranceWorkers(h, src, est, tol, *workers)
+		rec, plan, err = core.RetrieveToleranceObs(h, src, est, tol, *workers, o)
 	case "planes":
 		if *planesArg == "" {
 			return fmt.Errorf("retrieve: -control planes requires -planes")
@@ -238,7 +259,7 @@ func cmdRetrieve(args []string) error {
 			}
 			planes = append(planes, v)
 		}
-		rec, plan, err = core.RetrievePlanesWorkers(h, src, planes, *workers)
+		rec, plan, err = core.RetrievePlanesObs(h, src, planes, *workers, o)
 	default:
 		return fmt.Errorf("retrieve: unknown control %q", *control)
 	}
@@ -247,16 +268,7 @@ func cmdRetrieve(args []string) error {
 	}
 
 	fmt.Printf("plan: planes per level %v\n", plan.Planes)
-	if retrying != nil {
-		rs := retrying.Stats()
-		fmt.Printf("retry layer: %d reads, %d retries, %d recovered, %d exhausted, %d quarantined\n",
-			rs.Reads, rs.Retries, rs.Recovered, rs.Exhausted, rs.Quarantined)
-	}
-	if flaky != nil {
-		is := flaky.Stats()
-		fmt.Printf("injected faults: %d transient of %d attempts (rate %.2g, seed %d)\n",
-			is.Transient, is.Reads, *faultRate, *faultSeed)
-	}
+	printFaultReport(retrying, flaky, *faultRate, *faultSeed)
 	if flatStore != nil {
 		fmt.Printf("retrieved %d of %d stored bytes (%.1f%%) in %d ranged reads\n",
 			flatStore.BytesRead(), h.TotalBytes(),
@@ -284,6 +296,19 @@ func cmdRetrieve(args []string) error {
 		if tm, terr := hier.PlanTime(plan.BytesPerLevel, reqs); terr == nil {
 			fmt.Printf("modeled I/O time on default hierarchy: %.4g s\n", tm)
 		}
+		if o != nil {
+			// Per-tier modeled read time, so the metrics snapshot carries
+			// the same cost model the report prints.
+			perTier := make(map[string]float64)
+			for l := range plan.BytesPerLevel {
+				if t, terr := hier.ReadTime(l, plan.BytesPerLevel[l], reqs[l]); terr == nil {
+					perTier[hier.Tiers[hier.Placement[l]].Name] += t
+				}
+			}
+			for name, t := range perTier {
+				o.Gauge("storage.tier." + name + ".modeled_read_seconds").Set(t)
+			}
+		}
 	}
 	if *orig != "" {
 		_, origField, err := fieldio.Read(*orig)
@@ -300,5 +325,28 @@ func cmdRetrieve(args []string) error {
 		}
 		fmt.Printf("wrote reconstruction to %s\n", *out)
 	}
-	return nil
+	return of.Finish(o)
+}
+
+// printFaultReport prints one coherent view of a fault-injected run: the
+// injector's counts (what went wrong) interleaved with the retry layer's
+// (what it cost to recover). Both read the same live counters the metrics
+// snapshot exports, so the report and -metrics-out always agree.
+func printFaultReport(retrying *storage.RetryingSource, flaky *faults.Source, rate float64, seed int64) {
+	if retrying == nil && flaky == nil {
+		return
+	}
+	fmt.Println("fault report:")
+	if flaky != nil {
+		is := flaky.Stats()
+		fmt.Printf("  injected:  %d transient, %d permanent, %d corrupted, %d truncated over %d source reads (rate %.2g, seed %d)\n",
+			is.Transient, is.Permanent, is.Corrupted, is.Truncated, is.Reads, rate, seed)
+	}
+	if retrying != nil {
+		rs := retrying.Stats()
+		fmt.Printf("  recovery:  %d reads, %d retries, %d recovered, %d exhausted, %d quarantined\n",
+			rs.Reads, rs.Retries, rs.Recovered, rs.Exhausted, rs.Quarantined)
+		fmt.Printf("  transfer:  %d bytes delivered, %d bytes wasted, %.3gs backing off\n",
+			rs.BytesTransferred, rs.BytesWasted, rs.BackoffSeconds)
+	}
 }

@@ -2,11 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"pmgard/internal/fieldio"
+	"pmgard/internal/obs"
 	"pmgard/internal/sim/warpx"
 )
 
@@ -158,5 +160,85 @@ func TestRetrieveWithFaultInjection(t *testing.T) {
 	}
 	if err := cmdRetrieve([]string{"-in", pmgd, "-rel", "1e-3", "-fault-rate", "-0.1"}); err == nil {
 		t.Error("negative fault rate accepted")
+	}
+}
+
+// TestObservabilityFlags is the end-to-end check of the acceptance
+// criterion: a fault-injected retrieve with -metrics-out emits a snapshot
+// carrying per-level fetch counters, retry counts, and pool wait-time
+// histograms, and -trace-out emits a span timeline covering every
+// pipeline stage.
+func TestObservabilityFlags(t *testing.T) {
+	dir := t.TempDir()
+	field := writeTestField(t, dir)
+	pmgd := filepath.Join(dir, "jx.pmgd")
+	cm := filepath.Join(dir, "cm.json")
+	ct := filepath.Join(dir, "ct.json")
+	if err := cmdCompress([]string{"-in", field, "-out", pmgd,
+		"-metrics-out", cm, "-trace-out", ct}); err != nil {
+		t.Fatal(err)
+	}
+	requireMetrics(t, cm,
+		"decompose.transforms", "bitplane.levels_encoded",
+		"lossless.segments_compressed", "core.compress.fields",
+		"pool.bitplane.encode.wait_seconds")
+	requireStages(t, ct, "compress", "decompose", "bitplane.encode", "lossless.compress")
+
+	rm := filepath.Join(dir, "rm.json")
+	rt := filepath.Join(dir, "rt.json")
+	if err := cmdRetrieve([]string{"-in", pmgd, "-rel", "1e-3",
+		"-fault-rate", "0.2", "-fault-seed", "7",
+		"-metrics-out", rm, "-trace-out", rt}); err != nil {
+		t.Fatal(err)
+	}
+	requireMetrics(t, rm,
+		"core.fetch.bytes", "core.fetch.planes",
+		"core.fetch.level0.bytes", "core.fetch.level0.planes",
+		"storage.retry.reads", "storage.retry.retries",
+		"faults.reads", "faults.injected.transient",
+		"pool.fetch.wait_seconds", "pool.fetch.task_seconds",
+		"retrieval.greedy.estimator_calls")
+	requireStages(t, rt, "session", "retrieval.plan", "storage.fetch",
+		"storage.read", "lossless.decompress", "bitplane.decode",
+		"decompose.recompose")
+}
+
+// requireMetrics asserts the snapshot file contains every named metric.
+func requireMetrics(t *testing.T, path string, names ...string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	for _, name := range names {
+		if !snap.Has(name) {
+			t.Errorf("%s missing metric %q", path, name)
+		}
+	}
+}
+
+// requireStages asserts the trace dump contains a span for every stage.
+func requireStages(t *testing.T, path string, names ...string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump obs.TraceDump
+	if err := json.Unmarshal(data, &dump); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	have := make(map[string]bool)
+	for _, s := range dump.Spans {
+		have[s.Name] = true
+	}
+	for _, name := range names {
+		if !have[name] {
+			t.Errorf("%s missing stage %q", path, name)
+		}
 	}
 }

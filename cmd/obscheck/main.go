@@ -1,0 +1,74 @@
+// Command obscheck validates a metrics snapshot written by -metrics-out
+// (or the PMGARD_METRICS_OUT benchmark hook): it checks the file parses
+// and that every required metric name is present in one of the three
+// instrument kinds. CI uses it to fail the build when instrumentation
+// regresses out of the pipeline.
+//
+// Usage:
+//
+//	obscheck -in metrics.json -require core.fetch.bytes,pool.fetch.completed
+//
+// Exits 0 when every required name is present, 1 otherwise (listing the
+// missing names on stderr), 2 on usage or parse errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pmgard/internal/obs"
+)
+
+func main() {
+	in := flag.String("in", "", "metrics snapshot JSON file to validate")
+	require := flag.String("require", "", "comma-separated metric names that must be present")
+	list := flag.Bool("list", false, "print every metric name in the snapshot")
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "obscheck: -in is required")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obscheck:", err)
+		os.Exit(2)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		fmt.Fprintf(os.Stderr, "obscheck: %s: %v\n", *in, err)
+		os.Exit(2)
+	}
+	if *list {
+		for name := range snap.Counters {
+			fmt.Printf("counter   %s\n", name)
+		}
+		for name := range snap.Gauges {
+			fmt.Printf("gauge     %s\n", name)
+		}
+		for name := range snap.Histograms {
+			fmt.Printf("histogram %s\n", name)
+		}
+	}
+	var missing []string
+	for _, name := range strings.Split(*require, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !snap.Has(name) {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "obscheck: %s is missing %d required metrics:\n", *in, len(missing))
+		for _, name := range missing {
+			fmt.Fprintf(os.Stderr, "  %s\n", name)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("obscheck: %s ok (%d counters, %d gauges, %d histograms)\n",
+		*in, len(snap.Counters), len(snap.Gauges), len(snap.Histograms))
+}

@@ -20,6 +20,7 @@ import (
 	"pmgard/internal/dmgard"
 	"pmgard/internal/emgard"
 	"pmgard/internal/fieldio"
+	"pmgard/internal/obs"
 )
 
 func main() {
@@ -33,14 +34,25 @@ func main() {
 		quiet   = flag.Bool("q", false, "suppress per-file progress")
 		boundsN = flag.Int("bounds", 81, "number of relative error bounds in the sweep (≤81)")
 	)
+	var of obs.Flags
+	of.Register(flag.CommandLine)
 	flag.Parse()
-	if err := run(*mode, *fields, *out, *epochs, *lr, *seed, *quiet, *boundsN); err != nil {
+	o, err := of.Start(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "train:", err)
+		os.Exit(1)
+	}
+	if err := run(*mode, *fields, *out, *epochs, *lr, *seed, *quiet, *boundsN, o); err != nil {
+		fmt.Fprintln(os.Stderr, "train:", err)
+		os.Exit(1)
+	}
+	if err := of.Finish(o); err != nil {
 		fmt.Fprintln(os.Stderr, "train:", err)
 		os.Exit(1)
 	}
 }
 
-func run(mode, fieldsGlob, out string, epochs int, lr float64, seed int64, quiet bool, boundsN int) error {
+func run(mode, fieldsGlob, out string, epochs int, lr float64, seed int64, quiet bool, boundsN int, o *obs.Obs) error {
 	if fieldsGlob == "" || out == "" {
 		return fmt.Errorf("-fields and -out are required")
 	}
@@ -61,6 +73,7 @@ func run(mode, fieldsGlob, out string, epochs int, lr float64, seed int64, quiet
 		bounds = thinned
 	}
 	cfg := core.DefaultConfig()
+	cfg.Obs = o // the harvest sweeps compress through the same pipeline
 
 	switch mode {
 	case "dmgard":
@@ -81,6 +94,7 @@ func run(mode, fieldsGlob, out string, epochs int, lr float64, seed int64, quiet
 		}
 		tc := dmgard.DefaultConfig()
 		tc.Seed = seed
+		tc.Obs = o
 		if epochs > 0 {
 			tc.Epochs = epochs
 		}
@@ -114,6 +128,7 @@ func run(mode, fieldsGlob, out string, epochs int, lr float64, seed int64, quiet
 		}
 		tc := emgard.DefaultConfig()
 		tc.Seed = seed
+		tc.Obs = o
 		if epochs > 0 {
 			tc.Epochs = epochs
 		}

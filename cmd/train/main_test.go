@@ -34,7 +34,7 @@ func TestTrainDMGARDFromFiles(t *testing.T) {
 	dir := t.TempDir()
 	glob := writeFields(t, dir, 3)
 	out := filepath.Join(dir, "d.gob")
-	if err := run("dmgard", glob, out, 5, 5e-3, 1, true, 6); err != nil {
+	if err := run("dmgard", glob, out, 5, 5e-3, 1, true, 6, nil); err != nil {
 		t.Fatal(err)
 	}
 	m, err := dmgard.Load(out)
@@ -50,7 +50,7 @@ func TestTrainEMGARDFromFiles(t *testing.T) {
 	dir := t.TempDir()
 	glob := writeFields(t, dir, 3)
 	out := filepath.Join(dir, "e.gob")
-	if err := run("emgard", glob, out, 5, 5e-3, 1, true, 6); err != nil {
+	if err := run("emgard", glob, out, 5, 5e-3, 1, true, 6, nil); err != nil {
 		t.Fatal(err)
 	}
 	m, err := emgard.Load(out)
@@ -63,15 +63,15 @@ func TestTrainEMGARDFromFiles(t *testing.T) {
 }
 
 func TestTrainValidation(t *testing.T) {
-	if err := run("dmgard", "", "out.gob", 1, 0, 1, true, 5); err == nil {
+	if err := run("dmgard", "", "out.gob", 1, 0, 1, true, 5, nil); err == nil {
 		t.Error("empty glob accepted")
 	}
-	if err := run("dmgard", "/nonexistent/*.field", "out.gob", 1, 0, 1, true, 5); err == nil {
+	if err := run("dmgard", "/nonexistent/*.field", "out.gob", 1, 0, 1, true, 5, nil); err == nil {
 		t.Error("matchless glob accepted")
 	}
 	dir := t.TempDir()
 	glob := writeFields(t, dir, 1)
-	if err := run("nope", glob, filepath.Join(dir, "x.gob"), 1, 0, 1, true, 5); err == nil {
+	if err := run("nope", glob, filepath.Join(dir, "x.gob"), 1, 0, 1, true, 5, nil); err == nil {
 		t.Error("unknown mode accepted")
 	}
 }

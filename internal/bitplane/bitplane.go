@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 
+	"pmgard/internal/obs"
 	"pmgard/internal/pool"
 )
 
@@ -99,6 +100,12 @@ func EncodeLevelMode(coeffs []float64, planes int, mode Mode) (*LevelEncoding, e
 // underflow the quantization unit (denormals) encodes as all-zero planes
 // with the residual max magnitude recorded in every error-matrix entry.
 func EncodeLevelModeWorkers(coeffs []float64, planes int, mode Mode, workers int) (*LevelEncoding, error) {
+	return encodeLevelMode(coeffs, planes, mode, workers, nil)
+}
+
+// encodeLevelMode is the shared encode body; o, when non-nil, routes the
+// quantize/slice and error-matrix fan-outs through instrumented pool runs.
+func encodeLevelMode(coeffs []float64, planes int, mode Mode, workers int, o *obs.Obs) (*LevelEncoding, error) {
 	if planes < 1 || planes > 60 {
 		return nil, fmt.Errorf("bitplane: planes %d out of range [1,60]", planes)
 	}
@@ -157,8 +164,9 @@ func EncodeLevelModeWorkers(coeffs []float64, planes int, mode Mode, workers int
 		return enc, nil
 	}
 
+	encodeM := pool.NewMetrics(o, "bitplane.encode")
 	words := make([]uint64, n)
-	pool.RunChunks(n, workers, func(_, lo, hi int) error {
+	pool.RunChunksMetrics(n, workers, encodeM, func(_, lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			c := coeffs[i]
 			var q int64
@@ -185,7 +193,7 @@ func EncodeLevelModeWorkers(coeffs []float64, planes int, mode Mode, workers int
 	// Slice into planes, MSB first (plane 0 is the sign plane in
 	// sign-magnitude mode). Chunking by plane byte keeps each worker's
 	// writes on disjoint bytes of every plane.
-	pool.RunChunks(planeBytes, workers, func(_, lo, hi int) error {
+	pool.RunChunksMetrics(planeBytes, workers, encodeM, func(_, lo, hi int) error {
 		for byteIx := lo; byteIx < hi; byteIx++ {
 			end := (byteIx + 1) * 8
 			if end > n {
@@ -207,7 +215,7 @@ func EncodeLevelModeWorkers(coeffs []float64, planes int, mode Mode, workers int
 	// Collect the error matrix: for each prefix length b, the max abs
 	// difference between the original coefficient and the value decoded
 	// from the first b planes. Each prefix length is one independent task.
-	pool.Run(planes+1, workers, func(_, b int) error {
+	pool.RunMetrics(planes+1, workers, pool.NewMetrics(o, "bitplane.errmatrix"), func(_, b int) error {
 		var mask uint64
 		if b > 0 {
 			mask = ((uint64(1) << uint(b)) - 1) << uint(planes-b)
@@ -287,6 +295,12 @@ func (e *LevelEncoding) DecodePartial(b int, dst []float64) []float64 {
 // independently from the same plane bytes, so the output is bit-identical
 // for every worker count.
 func (e *LevelEncoding) DecodePartialWorkers(b int, dst []float64, workers int) []float64 {
+	return e.decodePartial(b, dst, workers, nil)
+}
+
+// decodePartial is the shared decode body; o, when non-nil, routes the
+// reconstruction fan-out through instrumented pool runs.
+func (e *LevelEncoding) decodePartial(b int, dst []float64, workers int, o *obs.Obs) []float64 {
 	if b < 0 || b > e.Planes {
 		panic(fmt.Sprintf("bitplane: DecodePartial b=%d out of range [0,%d]", b, e.Planes))
 	}
@@ -303,7 +317,7 @@ func (e *LevelEncoding) DecodePartialWorkers(b int, dst []float64, workers int) 
 		}
 		return dst
 	}
-	pool.RunChunks(e.N, pool.Clamp(workers), func(_, lo, hi int) error {
+	pool.RunChunksMetrics(e.N, pool.Clamp(workers), pool.NewMetrics(o, "bitplane.decode"), func(_, lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			byteIx, bitIx := i>>3, uint(i&7)
 			var w uint64

@@ -1,0 +1,44 @@
+package bitplane
+
+import "pmgard/internal/obs"
+
+// EncodeLevelObs is EncodeLevelWorkers with encode telemetry recorded into
+// o: a "bitplane.encode" span, counters bitplane.levels_encoded /
+// bitplane.planes_encoded / bitplane.errmatrix_tasks /
+// bitplane.coeffs_encoded, and pool task metrics under
+// pool.bitplane.encode.* and pool.bitplane.errmatrix.*. A nil o is exactly
+// EncodeLevelWorkers.
+func EncodeLevelObs(coeffs []float64, planes, workers int, o *obs.Obs) (*LevelEncoding, error) {
+	if o == nil {
+		return EncodeLevelWorkers(coeffs, planes, workers)
+	}
+	sp := o.Span("bitplane.encode", nil)
+	sp.SetAttr("coeffs", len(coeffs))
+	sp.SetAttr("planes", planes)
+	enc, err := encodeLevelMode(coeffs, planes, Negabinary, workers, o)
+	if err == nil {
+		o.Counter("bitplane.levels_encoded").Add(1)
+		o.Counter("bitplane.planes_encoded").Add(int64(planes))
+		o.Counter("bitplane.errmatrix_tasks").Add(int64(planes) + 1)
+		o.Counter("bitplane.coeffs_encoded").Add(int64(len(coeffs)))
+	}
+	sp.End()
+	return enc, err
+}
+
+// DecodePartialObs is DecodePartialWorkers with decode telemetry recorded
+// into o: a "bitplane.decode" span, counters bitplane.partial_decodes /
+// bitplane.planes_decoded, and pool task metrics under
+// pool.bitplane.decode.*. A nil o is exactly DecodePartialWorkers.
+func (e *LevelEncoding) DecodePartialObs(b int, dst []float64, workers int, o *obs.Obs) []float64 {
+	if o == nil {
+		return e.DecodePartialWorkers(b, dst, workers)
+	}
+	sp := o.Span("bitplane.decode", nil)
+	sp.SetAttr("planes", b)
+	out := e.decodePartial(b, dst, workers, o)
+	o.Counter("bitplane.partial_decodes").Add(1)
+	o.Counter("bitplane.planes_decoded").Add(int64(b))
+	sp.End()
+	return out
+}

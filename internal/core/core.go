@@ -25,6 +25,7 @@ import (
 	"pmgard/internal/features"
 	"pmgard/internal/grid"
 	"pmgard/internal/lossless"
+	"pmgard/internal/obs"
 	"pmgard/internal/pool"
 	"pmgard/internal/retrieval"
 	"pmgard/internal/storage"
@@ -49,6 +50,10 @@ type Config struct {
 	// produced bytes are identical for every value — fan-out writes into
 	// pre-sized (level, plane) slots, never appends.
 	Parallelism int
+	// Obs records pipeline telemetry (metrics and spans) when set. nil (the
+	// default) disables observability at the cost of one nil check per
+	// instrumented operation; it never changes the produced bytes.
+	Obs *obs.Obs
 }
 
 // DefaultConfig mirrors the paper's setup: a five-level hierarchy with 32
@@ -188,7 +193,11 @@ type Compressed struct {
 func Compress(t *grid.Tensor, cfg Config, fieldName string, timestep int) (*Compressed, error) {
 	cfg = cfg.withDefaults()
 	workers := pool.Clamp(cfg.Parallelism)
-	dec, err := decompose.DecomposeWorkers(t, cfg.Decompose, workers)
+	o := cfg.Obs
+	root := o.Span("compress", nil)
+	root.SetAttr("field", fieldName)
+	defer root.End()
+	dec, err := decompose.DecomposeObs(t, cfg.Decompose, workers, o)
 	if err != nil {
 		return nil, fmt.Errorf("core: decompose: %w", err)
 	}
@@ -207,8 +216,9 @@ func Compress(t *grid.Tensor, cfg Config, fieldName string, timestep int) (*Comp
 		h.LevelPools = append(h.LevelPools, features.PoolLevel(dec.Coeffs(l), cfg.PoolSize))
 	}
 	c := &Compressed{segments: make([][][]byte, dec.Levels())}
+	var bytesOut int64
 	for l := 0; l < dec.Levels(); l++ {
-		enc, err := bitplane.EncodeLevelWorkers(dec.Coeffs(l), cfg.Planes, workers)
+		enc, err := bitplane.EncodeLevelObs(dec.Coeffs(l), cfg.Planes, workers, o)
 		if err != nil {
 			return nil, fmt.Errorf("core: encode level %d: %w", l, err)
 		}
@@ -219,17 +229,22 @@ func Compress(t *grid.Tensor, cfg Config, fieldName string, timestep int) (*Comp
 			PlaneSizes:   make([]int64, cfg.Planes),
 			RawPlaneSize: enc.PlaneSizeRaw(),
 		}
-		segs, err := lossless.CompressSegments(cfg.Codec, enc.Bits, workers)
+		segs, err := lossless.CompressSegmentsObs(cfg.Codec, enc.Bits, workers, o)
 		if err != nil {
 			return nil, fmt.Errorf("core: compress level %d: %w", l, err)
 		}
 		c.segments[l] = segs
 		for k, seg := range segs {
 			lm.PlaneSizes[k] = int64(len(seg))
+			bytesOut += int64(len(seg))
 		}
 		h.Levels = append(h.Levels, lm)
 	}
 	c.Header = h
+	if o != nil {
+		o.Counter("core.compress.fields").Add(1)
+		o.Counter("core.compress.bytes_out").Add(bytesOut)
+	}
 	return c, nil
 }
 
@@ -316,12 +331,31 @@ type planeJob struct{ level, plane int }
 // lowest (level, plane) in fetch order is returned, so behavior is
 // identical for every worker count.
 func fetchLevels(h *Header, src SegmentSource, plan retrieval.Plan, dec *decompose.Decomposition, upTo, workers int) error {
+	return fetchLevelsObs(h, src, plan, dec, upTo, workers, nil)
+}
+
+// fetchLevelsObs is fetchLevels with telemetry recorded into o: a
+// "storage.fetch" span over the fan-out with per-job "storage.read" and
+// "lossless.decompress" child spans, per-level core.fetch.level<l>.bytes /
+// .planes counters (plus totals), and pool task metrics under
+// pool.fetch.*. A nil o is exactly fetchLevels.
+func fetchLevelsObs(h *Header, src SegmentSource, plan retrieval.Plan, dec *decompose.Decomposition, upTo, workers int, o *obs.Obs) error {
 	codec, err := lossless.ByName(h.CodecName)
 	if err != nil {
 		return err
 	}
 	encs := make([]*bitplane.LevelEncoding, upTo+1)
 	var jobs []planeJob
+	// Per-level fetch counters are resolved before the fan-out so the hot
+	// loop never touches the registry lock.
+	var lvlBytes, lvlPlanes []*obs.Counter
+	var totBytes, totPlanes *obs.Counter
+	if o != nil {
+		lvlBytes = make([]*obs.Counter, upTo+1)
+		lvlPlanes = make([]*obs.Counter, upTo+1)
+		totBytes = o.Counter("core.fetch.bytes")
+		totPlanes = o.Counter("core.fetch.planes")
+	}
 	for l := 0; l <= upTo; l++ {
 		lm := h.Levels[l]
 		b := plan.Planes[l]
@@ -334,28 +368,47 @@ func fetchLevels(h *Header, src SegmentSource, plan retrieval.Plan, dec *decompo
 			Exponent: lm.Exponent,
 			Bits:     make([][]byte, h.Planes),
 		}
+		if o != nil {
+			lvlBytes[l] = o.Counter(fmt.Sprintf("core.fetch.level%d.bytes", l))
+			lvlPlanes[l] = o.Counter(fmt.Sprintf("core.fetch.level%d.planes", l))
+		}
 		for k := 0; k < b; k++ {
 			jobs = append(jobs, planeJob{level: l, plane: k})
 		}
 	}
-	err = pool.Run(len(jobs), workers, func(_, i int) error {
+	fetchSpan := o.Span("storage.fetch", nil)
+	fetchSpan.SetAttr("jobs", len(jobs))
+	err = pool.RunMetrics(len(jobs), workers, pool.NewMetrics(o, "fetch"), func(_, i int) error {
 		j := jobs[i]
+		read := o.Span("storage.read", fetchSpan)
 		seg, err := src.Segment(j.level, j.plane)
+		read.SetAttr("level", j.level)
+		read.SetAttr("plane", j.plane)
+		read.End()
 		if err != nil {
 			return err
 		}
+		dsp := o.Span("lossless.decompress", fetchSpan)
 		raw, err := codec.Decompress(seg, h.Levels[j.level].RawPlaneSize)
+		dsp.End()
 		if err != nil {
 			return fmt.Errorf("core: level %d plane %d: %w", j.level, j.plane, err)
 		}
 		encs[j.level].Bits[j.plane] = raw
+		if o != nil {
+			lvlBytes[j.level].Add(int64(len(seg)))
+			lvlPlanes[j.level].Add(1)
+			totBytes.Add(int64(len(seg)))
+			totPlanes.Add(1)
+		}
 		return nil
 	})
+	fetchSpan.End()
 	if err != nil {
 		return err
 	}
 	for l := 0; l <= upTo; l++ {
-		encs[l].DecodePartialWorkers(plan.Planes[l], dec.Coeffs(l), workers)
+		encs[l].DecodePartialObs(plan.Planes[l], dec.Coeffs(l), workers, o)
 	}
 	return nil
 }
@@ -365,18 +418,30 @@ func fetchLevels(h *Header, src SegmentSource, plan retrieval.Plan, dec *decompo
 // 1 forces the sequential path). The reconstruction is bit-identical for
 // every worker count.
 func RetrieveWorkers(h *Header, src SegmentSource, plan retrieval.Plan, workers int) (*grid.Tensor, error) {
+	return RetrieveWorkersObs(h, src, plan, workers, nil)
+}
+
+// RetrieveWorkersObs is RetrieveWorkers with retrieval telemetry recorded
+// into o: a "session" root span spanning the whole retrieval, stage spans
+// for storage reads, lossless decompression, bit-plane decode and
+// recomposition, per-level core.fetch.* counters and pool.fetch.* task
+// metrics. A nil o is exactly RetrieveWorkers.
+func RetrieveWorkersObs(h *Header, src SegmentSource, plan retrieval.Plan, workers int, o *obs.Obs) (*grid.Tensor, error) {
 	if len(plan.Planes) != len(h.Levels) {
 		return nil, fmt.Errorf("core: plan has %d levels, header %d", len(plan.Planes), len(h.Levels))
 	}
+	root := o.Span("session", nil)
+	root.SetAttr("bytes_planned", plan.Bytes)
+	defer root.End()
 	workers = pool.Clamp(workers)
 	dec, err := decompose.NewZeroWorkers(h.Dims, h.DecomposeOptions(), workers)
 	if err != nil {
 		return nil, err
 	}
-	if err := fetchLevels(h, src, plan, dec, len(h.Levels)-1, workers); err != nil {
+	if err := fetchLevelsObs(h, src, plan, dec, len(h.Levels)-1, workers, o); err != nil {
 		return nil, err
 	}
-	return dec.Recompose(), nil
+	return dec.RecomposeObs(o), nil
 }
 
 // RetrieveTolerance plans with the given estimator at an absolute tolerance
@@ -388,11 +453,19 @@ func RetrieveTolerance(h *Header, src SegmentSource, est retrieval.ErrorEstimato
 // RetrieveToleranceWorkers is RetrieveTolerance with an explicit worker
 // count for the retrieval stages.
 func RetrieveToleranceWorkers(h *Header, src SegmentSource, est retrieval.ErrorEstimator, tol float64, workers int) (*grid.Tensor, retrieval.Plan, error) {
-	plan, err := retrieval.GreedyPlan(h.LevelInfos(), est, tol)
+	return RetrieveToleranceObs(h, src, est, tol, workers, nil)
+}
+
+// RetrieveToleranceObs is RetrieveToleranceWorkers with planner and
+// retrieval telemetry recorded into o (see GreedyPlanObs and
+// RetrieveWorkersObs for the metric names). A nil o is exactly
+// RetrieveToleranceWorkers.
+func RetrieveToleranceObs(h *Header, src SegmentSource, est retrieval.ErrorEstimator, tol float64, workers int, o *obs.Obs) (*grid.Tensor, retrieval.Plan, error) {
+	plan, err := retrieval.GreedyPlanObs(h.LevelInfos(), est, tol, o)
 	if err != nil {
 		return nil, retrieval.Plan{}, err
 	}
-	rec, err := RetrieveWorkers(h, src, plan, workers)
+	rec, err := RetrieveWorkersObs(h, src, plan, workers, o)
 	return rec, plan, err
 }
 
@@ -405,11 +478,18 @@ func RetrievePlanes(h *Header, src SegmentSource, planes []int) (*grid.Tensor, r
 // RetrievePlanesWorkers is RetrievePlanes with an explicit worker count for
 // the retrieval stages.
 func RetrievePlanesWorkers(h *Header, src SegmentSource, planes []int, workers int) (*grid.Tensor, retrieval.Plan, error) {
+	return RetrievePlanesObs(h, src, planes, workers, nil)
+}
+
+// RetrievePlanesObs is RetrievePlanesWorkers with retrieval telemetry
+// recorded into o (see RetrieveWorkersObs for the metric names). A nil o
+// is exactly RetrievePlanesWorkers.
+func RetrievePlanesObs(h *Header, src SegmentSource, planes []int, workers int, o *obs.Obs) (*grid.Tensor, retrieval.Plan, error) {
 	plan, err := retrieval.PlanForPlanes(h.LevelInfos(), planes)
 	if err != nil {
 		return nil, retrieval.Plan{}, err
 	}
-	rec, err := RetrieveWorkers(h, src, plan, workers)
+	rec, err := RetrieveWorkersObs(h, src, plan, workers, o)
 	return rec, plan, err
 }
 

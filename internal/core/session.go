@@ -7,6 +7,7 @@ import (
 	"pmgard/internal/decompose"
 	"pmgard/internal/grid"
 	"pmgard/internal/lossless"
+	"pmgard/internal/obs"
 	"pmgard/internal/retrieval"
 	"pmgard/internal/storage"
 )
@@ -26,9 +27,18 @@ type Session struct {
 	fetched []int
 	// planes[l][k] caches the decompressed plane bitsets.
 	planes [][][]byte
-	// bytes is the cumulative payload fetched.
+	// bytes is the cumulative payload fetched, including payloads delivered
+	// by reads that later failed to decode.
 	bytes int64
+	// o records session telemetry when set via Instrument; nil disables it.
+	o *obs.Obs
 }
+
+// Instrument records session telemetry — per-level bytes/planes fetched,
+// wasted fetch bytes, refinement spans, degraded-mode counters — into o.
+// Call before the first RefineTo/Refine; a nil o (the default) disables
+// all of it.
+func (s *Session) Instrument(o *obs.Obs) { s.o = o }
 
 // NewSession opens a progressive retrieval session over a compressed field.
 func NewSession(h *Header, src SegmentSource) (*Session, error) {
@@ -99,6 +109,8 @@ func (s *Session) RefineTo(target []int) (*grid.Tensor, error) {
 			return nil, fmt.Errorf("core: session target level %d plane count %d out of range", l, want)
 		}
 	}
+	sp := s.o.Span("session.refine_to", nil)
+	defer sp.End()
 	for l, want := range target {
 		if err := s.fetchLevel(l, want); err != nil {
 			return nil, err
@@ -110,19 +122,34 @@ func (s *Session) RefineTo(target []int) (*grid.Tensor, error) {
 // fetchLevel extends level l's fetched plane prefix to want planes,
 // advancing the session state plane by plane so a mid-level failure never
 // desynchronizes fetched/planes/bytes.
+//
+// Failed fetches still count toward BytesFetched when payload was actually
+// delivered: a segment that arrives but fails to decompress (corruption,
+// truncation), or a partial payload returned alongside an error, moved real
+// bytes off the store even though the plane was never decoded.
 func (s *Session) fetchLevel(l, want int) error {
 	for k := s.fetched[l]; k < want; k++ {
 		seg, err := s.src.Segment(l, k)
 		if err != nil {
+			s.bytes += int64(len(seg))
+			s.o.Counter("core.session.bytes_wasted").Add(int64(len(seg)))
 			return err
 		}
 		raw, err := s.codec.Decompress(seg, s.header.Levels[l].RawPlaneSize)
 		if err != nil {
+			s.bytes += int64(len(seg))
+			s.o.Counter("core.session.bytes_wasted").Add(int64(len(seg)))
 			return fmt.Errorf("core: session level %d plane %d: %w", l, k, err)
 		}
 		s.planes[l][k] = raw
 		s.bytes += s.header.Levels[l].PlaneSizes[k]
 		s.fetched[l] = k + 1
+		if s.o != nil {
+			s.o.Counter(fmt.Sprintf("core.session.level%d.bytes_fetched", l)).Add(s.header.Levels[l].PlaneSizes[k])
+			s.o.Counter(fmt.Sprintf("core.session.level%d.planes_fetched", l)).Add(1)
+			s.o.Counter("core.session.bytes_fetched").Add(s.header.Levels[l].PlaneSizes[k])
+			s.o.Counter("core.session.planes_fetched").Add(1)
+		}
 	}
 	return nil
 }
@@ -141,7 +168,10 @@ func (s *Session) fetchLevel(l, want int) error {
 // a storage.RetryingSource) still abort with an error, with the session
 // state left consistent for a later retry.
 func (s *Session) Refine(est retrieval.ErrorEstimator, tol float64) (*grid.Tensor, retrieval.Plan, *Degradation, error) {
-	plan, err := retrieval.GreedyPlan(s.header.LevelInfos(), est, tol)
+	sp := s.o.Span("session.refine", nil)
+	sp.SetAttr("tol", tol)
+	defer sp.End()
+	plan, err := retrieval.GreedyPlanObs(s.header.LevelInfos(), est, tol, s.o)
 	if err != nil {
 		return nil, retrieval.Plan{}, nil, err
 	}
@@ -185,6 +215,20 @@ func (s *Session) Refine(est retrieval.ErrorEstimator, tol float64) (*grid.Tenso
 			Got:           append([]int(nil), target...),
 			RequestedTol:  tol,
 			AchievedBound: exec.EstimatedError,
+		}
+		// Fold the degradation report into the registry so a -metrics-out
+		// snapshot carries the same story the Degradation struct tells.
+		if s.o != nil {
+			s.o.Counter("core.session.degraded_refines").Add(1)
+			var missing int64
+			for l := range requested {
+				missing += int64(requested[l] - deg.Got[l])
+			}
+			s.o.Counter("core.session.planes_dropped").Add(missing)
+			s.o.Counter("core.session.levels_degraded").Add(int64(len(dropped)))
+			s.o.Gauge("core.session.achieved_bound").Set(exec.EstimatedError)
+			s.o.Gauge("core.session.requested_tol").Set(tol)
+			sp.SetAttr("degraded", true)
 		}
 	}
 	return rec, exec, deg, nil

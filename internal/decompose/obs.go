@@ -1,0 +1,44 @@
+package decompose
+
+import (
+	"pmgard/internal/grid"
+	"pmgard/internal/obs"
+)
+
+// DecomposeObs is DecomposeWorkers with transform telemetry recorded into
+// o: a "decompose" span with rank/level attrs, and counters
+// decompose.transforms / decompose.passes (one pass per (step, axis) pair
+// of the forward lifting schedule) / decompose.nodes. A nil o is exactly
+// DecomposeWorkers.
+func DecomposeObs(t *grid.Tensor, opt Options, workers int, o *obs.Obs) (*Decomposition, error) {
+	if o == nil {
+		return DecomposeWorkers(t, opt, workers)
+	}
+	sp := o.Span("decompose", nil)
+	sp.SetAttr("levels", opt.Levels)
+	sp.SetAttr("rank", t.NDim())
+	d, err := DecomposeWorkers(t, opt, workers)
+	if err == nil {
+		o.Counter("decompose.transforms").Add(1)
+		o.Counter("decompose.passes").Add(int64((opt.Levels - 1) * t.NDim()))
+		o.Counter("decompose.nodes").Add(int64(len(t.Data())))
+	}
+	sp.End()
+	return d, err
+}
+
+// RecomposeObs is Decomposition.Recompose with a "decompose.recompose"
+// span and a decompose.recompositions counter recorded into o. A nil o is
+// exactly Recompose.
+func (d *Decomposition) RecomposeObs(o *obs.Obs) *grid.Tensor {
+	if o == nil {
+		return d.Recompose()
+	}
+	sp := o.Span("decompose.recompose", nil)
+	sp.SetAttr("levels", d.opt.Levels)
+	out := d.Recompose()
+	o.Counter("decompose.recompositions").Add(1)
+	o.Counter("decompose.passes").Add(int64((d.opt.Levels - 1) * out.NDim()))
+	sp.End()
+	return out
+}

@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"pmgard/internal/nn"
+	"pmgard/internal/obs"
 )
 
 // Record is one training sample harvested from a compression sweep: the
@@ -69,6 +70,10 @@ type Config struct {
 	// JitterStd is the augmentation noise in standardized units (default
 	// 0.15).
 	JitterStd float64
+	// Obs records training telemetry (per-epoch loss gauges, epoch spans,
+	// micro-batch counters) when set; nil disables it and never changes the
+	// trained weights.
+	Obs *obs.Obs
 }
 
 // DefaultConfig returns a CPU-friendly version of the paper's training
@@ -208,6 +213,7 @@ func Train(records []Record, planes int, cfg Config) (*Model, error) {
 			Seed:      cfg.Seed + int64(l),
 			Loss:      cfg.Loss,
 			Optimizer: nn.NewAdam(cfg.LR),
+			Obs:       cfg.Obs,
 		}); err != nil {
 			return nil, fmt.Errorf("dmgard: train level %d: %w", l, err)
 		}

@@ -27,6 +27,7 @@ import (
 	"os"
 
 	"pmgard/internal/nn"
+	"pmgard/internal/obs"
 	"pmgard/internal/retrieval"
 )
 
@@ -66,6 +67,10 @@ type Config struct {
 	// mildly conservative, matching the paper's observation that E-MGARD
 	// errors land below the bound for most cases (§IV-E).
 	UnderPenalty float64
+	// Obs records training telemetry (per-epoch log-loss gauge, epoch
+	// counters, an emgard.train span) when set; nil disables it and never
+	// changes the trained weights.
+	Obs *obs.Obs
 }
 
 // DefaultConfig returns a CPU-scale version of the paper's E-MGARD
@@ -180,7 +185,13 @@ func Train(samples []Sample, cfg Config) (*Model, error) {
 		order[i] = i
 	}
 
+	o := cfg.Obs
+	trainSpan := o.Span("emgard.train", nil)
+	trainSpan.SetAttr("levels", levels)
+	trainSpan.SetAttr("samples", len(usable))
+	defer trainSpan.End()
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		epochLoss, nLoss := 0.0, 0
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		for start := 0; start < len(order); start += cfg.BatchSize {
 			end := start + cfg.BatchSize
@@ -219,6 +230,8 @@ func Train(samples []Sample, cfg Config) (*Model, error) {
 					continue
 				}
 				diff := math.Log(pred) - math.Log(s.TrueErr)
+				epochLoss += diff * diff
+				nLoss++
 				dLdPred := 2 * diff / pred / float64(bs)
 				if diff < 0 {
 					// Under-estimate: penalize harder so the retriever
@@ -234,6 +247,13 @@ func Train(samples []Sample, cfg Config) (*Model, error) {
 				m.nets[l].Backward(grads[l])
 			}
 			opt.Step(params)
+		}
+		if o != nil {
+			o.Counter("emgard.epochs").Add(1)
+			o.Gauge("emgard.epoch").Set(float64(epoch))
+			if nLoss > 0 {
+				o.Gauge("emgard.train_loss").Set(epochLoss / float64(nLoss))
+			}
 		}
 	}
 	// Record the training-set output range per level for inference-time

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"pmgard/internal/obs"
 	"pmgard/internal/storage"
 )
 
@@ -52,7 +53,9 @@ type Config struct {
 	TruncateRate float64
 }
 
-// Stats counts the faults injected so far.
+// Stats is a point-in-time view over the injector's counters. The counters
+// live in obs instruments (standalone by default, registry-backed after
+// Instrument), so a -metrics-out snapshot and this struct agree.
 type Stats struct {
 	// Reads is the number of reads that reached the injector.
 	Reads int64
@@ -81,7 +84,14 @@ type injector struct {
 
 	mu       sync.Mutex
 	attempts map[PlaneID]int
-	stats    Stats
+
+	// Fault counters: standalone instruments by default, rebound to shared
+	// registry-named ones by instrument().
+	reads     *obs.Counter
+	transient *obs.Counter
+	permHits  *obs.Counter
+	corrupted *obs.Counter
+	truncated *obs.Counter
 }
 
 func newInjector(cfg Config) *injector {
@@ -93,7 +103,32 @@ func newInjector(cfg Config) *injector {
 		cfg:       cfg,
 		permanent: perm,
 		attempts:  make(map[PlaneID]int),
+		reads:     new(obs.Counter),
+		transient: new(obs.Counter),
+		permHits:  new(obs.Counter),
+		corrupted: new(obs.Counter),
+		truncated: new(obs.Counter),
 	}
+}
+
+// instrument rebinds the fault counters to shared instruments in o's
+// registry under faults.*, folding in anything counted so far.
+func (in *injector) instrument(o *obs.Obs) {
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	bind := func(dst **obs.Counter, name string) {
+		c := o.Counter("faults." + name)
+		c.Add((*dst).Value())
+		*dst = c
+	}
+	bind(&in.reads, "reads")
+	bind(&in.transient, "injected.transient")
+	bind(&in.permHits, "injected.permanent")
+	bind(&in.corrupted, "injected.corrupted")
+	bind(&in.truncated, "injected.truncated")
 }
 
 // draw returns a deterministic uniform value in [0,1) for one decision,
@@ -121,12 +156,10 @@ func (in *injector) admit(level, plane int) (int, error) {
 	in.mu.Lock()
 	attempt := in.attempts[id]
 	in.attempts[id] = attempt + 1
-	in.stats.Reads++
 	in.mu.Unlock()
+	in.reads.Add(1)
 	if in.permanent[id] {
-		in.mu.Lock()
-		in.stats.Permanent++
-		in.mu.Unlock()
+		in.permHits.Add(1)
 		return attempt, fmt.Errorf("faults: level %d plane %d permanently unavailable: %w",
 			level, plane, storage.ErrPermanent)
 	}
@@ -134,9 +167,7 @@ func (in *injector) admit(level, plane int) (int, error) {
 		time.Sleep(in.cfg.Latency)
 	}
 	if draw(in.cfg.Seed, level, plane, attempt, streamTransient) < in.cfg.TransientRate {
-		in.mu.Lock()
-		in.stats.Transient++
-		in.mu.Unlock()
+		in.transient.Add(1)
 		return attempt, fmt.Errorf("faults: injected transient error on level %d plane %d (attempt %d): %w",
 			level, plane, attempt, storage.ErrTransient)
 	}
@@ -162,23 +193,23 @@ func (in *injector) mangle(level, plane, attempt int, payload []byte) []byte {
 			ix = len(out) - 1
 		}
 		out[ix] ^= 0xFF
-		in.mu.Lock()
-		in.stats.Corrupted++
-		in.mu.Unlock()
+		in.corrupted.Add(1)
 	}
 	if truncate {
 		out = out[:len(out)/2]
-		in.mu.Lock()
-		in.stats.Truncated++
-		in.mu.Unlock()
+		in.truncated.Add(1)
 	}
 	return out
 }
 
 func (in *injector) snapshot() Stats {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	return in.stats
+	return Stats{
+		Reads:     in.reads.Value(),
+		Transient: in.transient.Value(),
+		Permanent: in.permHits.Value(),
+		Corrupted: in.corrupted.Value(),
+		Truncated: in.truncated.Value(),
+	}
 }
 
 // SegmentSource yields compressed plane payloads; it is structurally
@@ -217,6 +248,12 @@ func (s *Source) Segment(level, plane int) ([]byte, error) {
 // Stats returns a snapshot of the injected-fault counters.
 func (s *Source) Stats() Stats { return s.in.snapshot() }
 
+// Instrument rebinds the fault counters to shared instruments in o's
+// registry under faults.*, folding in anything counted so far. Call before
+// the source is shared across goroutines; a nil or metrics-less o is a
+// no-op.
+func (s *Source) Instrument(o *obs.Obs) { s.in.instrument(o) }
+
 // SegmentReader is the store-level read interface both storage.Store and
 // storage.TieredStore satisfy.
 type SegmentReader interface {
@@ -251,3 +288,9 @@ func (s *Store) ReadSegment(id storage.SegmentID) ([]byte, error) {
 
 // Stats returns a snapshot of the injected-fault counters.
 func (s *Store) Stats() Stats { return s.in.snapshot() }
+
+// Instrument rebinds the fault counters to shared instruments in o's
+// registry under faults.*, folding in anything counted so far. Call before
+// the store is shared across goroutines; a nil or metrics-less o is a
+// no-op.
+func (s *Store) Instrument(o *obs.Obs) { s.in.instrument(o) }

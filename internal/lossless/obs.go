@@ -1,0 +1,86 @@
+package lossless
+
+import (
+	"fmt"
+
+	"pmgard/internal/obs"
+	"pmgard/internal/pool"
+)
+
+// CompressSegmentsObs is CompressSegments with codec telemetry recorded
+// into o: a "lossless.compress" span, counters
+// lossless.segments_compressed / lossless.compress_bytes_in /
+// lossless.compress_bytes_out, a byte-size histogram
+// lossless.segment_bytes, and pool task metrics under
+// pool.lossless.compress.*. A nil o is exactly CompressSegments.
+func CompressSegmentsObs(codec Codec, segments [][]byte, workers int, o *obs.Obs) ([][]byte, error) {
+	if o == nil {
+		return CompressSegments(codec, segments, workers)
+	}
+	sp := o.Span("lossless.compress", nil)
+	sp.SetAttr("segments", len(segments))
+	sp.SetAttr("codec", codec.Name())
+	defer sp.End()
+	sizeHist := o.Histogram("lossless.segment_bytes", obs.ByteBuckets())
+	out := make([][]byte, len(segments))
+	err := pool.RunMetrics(len(segments), workers, pool.NewMetrics(o, "lossless.compress"), func(_, i int) error {
+		enc, err := codec.Compress(segments[i])
+		if err != nil {
+			return fmt.Errorf("segment %d: %w", i, err)
+		}
+		out[i] = enc
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var in, outBytes int64
+	for i := range segments {
+		in += int64(len(segments[i]))
+		outBytes += int64(len(out[i]))
+		sizeHist.Observe(float64(len(out[i])))
+	}
+	o.Counter("lossless.segments_compressed").Add(int64(len(segments)))
+	o.Counter("lossless.compress_bytes_in").Add(in)
+	o.Counter("lossless.compress_bytes_out").Add(outBytes)
+	return out, nil
+}
+
+// DecompressSegmentsObs is DecompressSegments with codec telemetry
+// recorded into o: a "lossless.decompress" span, counters
+// lossless.segments_decompressed / lossless.decompress_bytes_in /
+// lossless.decompress_bytes_out, and pool task metrics under
+// pool.lossless.decompress.*. A nil o is exactly DecompressSegments.
+func DecompressSegmentsObs(codec Codec, segments [][]byte, sizes []int, workers int, o *obs.Obs) ([][]byte, error) {
+	if o == nil {
+		return DecompressSegments(codec, segments, sizes, workers)
+	}
+	if len(segments) != len(sizes) {
+		return nil, fmt.Errorf("lossless: %d segments but %d sizes", len(segments), len(sizes))
+	}
+	sp := o.Span("lossless.decompress", nil)
+	sp.SetAttr("segments", len(segments))
+	sp.SetAttr("codec", codec.Name())
+	defer sp.End()
+	out := make([][]byte, len(segments))
+	err := pool.RunMetrics(len(segments), workers, pool.NewMetrics(o, "lossless.decompress"), func(_, i int) error {
+		dec, err := codec.Decompress(segments[i], sizes[i])
+		if err != nil {
+			return fmt.Errorf("segment %d: %w", i, err)
+		}
+		out[i] = dec
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var in, outBytes int64
+	for i := range segments {
+		in += int64(len(segments[i]))
+		outBytes += int64(len(out[i]))
+	}
+	o.Counter("lossless.segments_decompressed").Add(int64(len(segments)))
+	o.Counter("lossless.decompress_bytes_in").Add(in)
+	o.Counter("lossless.decompress_bytes_out").Add(outBytes)
+	return out, nil
+}

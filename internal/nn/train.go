@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
+	"pmgard/internal/obs"
 	"pmgard/internal/pool"
 )
 
@@ -46,6 +48,10 @@ type TrainConfig struct {
 	// sequential path (Workers ≤ 1, the default) only by floating-point
 	// summation order, exactly as a different batch size would.
 	Workers int
+	// Obs records training telemetry — per-epoch loss/grad-norm gauges,
+	// micro-batch counters and throughput, epoch spans — when set. nil (the
+	// default) disables it and never changes the trained weights.
+	Obs *obs.Obs
 }
 
 func (c TrainConfig) validate(n int) error {
@@ -121,10 +127,18 @@ func Train(model *Sequential, x, y *Mat, cfg TrainConfig) ([]float64, error) {
 		return cfg.Loss.Forward(model.Forward(bx), by)
 	}
 
+	o := cfg.Obs
+	trainSpan := o.Span("nn.train", nil)
+	trainSpan.SetAttr("samples", len(order))
+	defer trainSpan.End()
+	microM := pool.NewMetrics(o, "nn.microbatch")
 	history := make([]float64, 0, cfg.Epochs)
 	bestVal := math.Inf(1)
 	stale := 0
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		epochSpan := o.Span("nn.epoch", trainSpan)
+		epochSpan.SetAttr("epoch", epoch)
+		epochStart := time.Now()
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		epochLoss, batches := 0.0, 0
 		for start := 0; start < len(order); start += cfg.BatchSize {
@@ -134,7 +148,7 @@ func Train(model *Sequential, x, y *Mat, cfg TrainConfig) ([]float64, error) {
 			}
 			var loss float64
 			if replicas != nil {
-				loss = parallelBatch(replicas, x, y, order[start:end], cfg.Loss, params)
+				loss = parallelBatch(replicas, x, y, order[start:end], cfg.Loss, params, microM)
 			} else {
 				bx := NewMat(end-start, x.Cols)
 				by := NewMat(end-start, y.Cols)
@@ -156,11 +170,26 @@ func Train(model *Sequential, x, y *Mat, cfg TrainConfig) ([]float64, error) {
 		}
 		epochLoss /= float64(batches)
 		history = append(history, epochLoss)
+		if o != nil {
+			o.Counter("nn.epochs").Add(1)
+			o.Counter("nn.batches").Add(int64(batches))
+			o.Counter("nn.rows_processed").Add(int64(len(order)))
+			o.Gauge("nn.epoch").Set(float64(epoch))
+			o.Gauge("nn.train_loss").Set(epochLoss)
+			o.Gauge("nn.grad_norm").Set(gradNorm(params))
+			if dt := time.Since(epochStart).Seconds(); dt > 0 {
+				o.Gauge("nn.rows_per_second").Set(float64(len(order)) / dt)
+			}
+			epochSpan.SetAttr("loss", epochLoss)
+		}
+		epochSpan.End()
 		if cfg.Progress != nil {
 			cfg.Progress(epoch, epochLoss)
 		}
 		if cfg.Patience > 0 {
-			if v := evalVal(); v < bestVal-1e-12 {
+			v := evalVal()
+			o.Gauge("nn.val_loss").Set(v)
+			if v < bestVal-1e-12 {
 				bestVal = v
 				stale = 0
 			} else {
@@ -174,6 +203,18 @@ func Train(model *Sequential, x, y *Mat, cfg TrainConfig) ([]float64, error) {
 	return history, nil
 }
 
+// gradNorm returns the L2 norm of the parameter gradients left by the last
+// optimizer step's batch — a cheap divergence signal for dashboards.
+func gradNorm(params []*Param) float64 {
+	var sum float64
+	for _, p := range params {
+		for _, g := range p.Grad {
+			sum += g * g
+		}
+	}
+	return math.Sqrt(sum)
+}
+
 // parallelBatch computes the loss and parameter gradients for the batch
 // rows idx by fanning fixed-size micro-batches across the replicas. Each
 // chunk's loss and gradient land in a snapshot slot indexed by chunk, and
@@ -181,8 +222,10 @@ func Train(model *Sequential, x, y *Mat, cfg TrainConfig) ([]float64, error) {
 // size, so the accumulated gradient in params is independent of the number
 // of replicas. The batch loss is left for the caller to check and the
 // optimizer step is the caller's too — during the fan-out, parameter values
-// are strictly read-only.
-func parallelBatch(replicas []*Sequential, x, y *Mat, idx []int, loss Loss, params []*Param) float64 {
+// are strictly read-only. m, when non-nil, records per-micro-batch pool
+// telemetry (queue depth, wait and task time) under pool.nn.microbatch.*;
+// telemetry never alters chunking or summation order.
+func parallelBatch(replicas []*Sequential, x, y *Mat, idx []int, loss Loss, params []*Param, m *pool.Metrics) float64 {
 	nChunks := (len(idx) + microBatchRows - 1) / microBatchRows
 	type snapshot struct {
 		rows  int
@@ -190,7 +233,7 @@ func parallelBatch(replicas []*Sequential, x, y *Mat, idx []int, loss Loss, para
 		grads [][]float64
 	}
 	snaps := make([]snapshot, nChunks)
-	pool.Run(nChunks, len(replicas), func(worker, c int) error {
+	pool.RunMetrics(nChunks, len(replicas), m, func(worker, c int) error {
 		rep := replicas[worker]
 		repParams := rep.Params()
 		lo := c * microBatchRows

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugSnapshot is the JSON document served at /debug/obs: the live
+// metrics snapshot plus the trace stage table (the full span timeline is
+// written by -trace-out, not served, to keep the endpoint cheap).
+type DebugSnapshot struct {
+	// Metrics is the registry snapshot.
+	Metrics Snapshot `json:"metrics"`
+	// Stages is the aggregated per-stage duration table.
+	Stages []StageStat `json:"stages"`
+	// TraceDropped counts spans lost to the trace buffer bound.
+	TraceDropped int64 `json:"trace_dropped"`
+}
+
+// Handler returns an http.Handler serving the DebugSnapshot of o as
+// indented JSON. Works (serving empty documents) on a nil Obs.
+func Handler(o *Obs) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		var snap DebugSnapshot
+		if o != nil {
+			snap.Metrics = o.Metrics.Snapshot()
+			snap.Stages = o.Trace.Stages()
+			snap.TraceDropped = o.Trace.Dropped()
+		}
+		if snap.Stages == nil {
+			snap.Stages = []StageStat{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap)
+	})
+}
+
+// NewDebugMux returns a mux exposing the standard debug surface for o:
+//
+//	/debug/vars   — expvar (including the registry if published there)
+//	/debug/pprof  — net/http/pprof profiles
+//	/debug/obs    — the DebugSnapshot JSON
+//
+// A dedicated mux (rather than http.DefaultServeMux) keeps the endpoint
+// from leaking into any other server the process runs.
+func NewDebugMux(o *Obs) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/obs", Handler(o))
+	return mux
+}
+
+// ServeDebug starts the debug endpoint on addr in a background goroutine
+// and returns the server plus the bound address (useful with ":0"). The
+// caller owns shutdown via srv.Close. The registry is also published to
+// expvar under "pmgard" so /debug/vars carries it.
+func ServeDebug(addr string, o *Obs) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("obs: debug listen %s: %w", addr, err)
+	}
+	if o != nil {
+		o.Metrics.PublishExpvar("pmgard")
+	}
+	srv := &http.Server{Handler: NewDebugMux(o)}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}

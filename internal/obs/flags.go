@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+)
+
+// Flags bundles the standard observability CLI flags (-metrics-out,
+// -trace-out, -debug-addr) so every command wires them identically: call
+// Register on the command's FlagSet, Start after parsing to obtain the Obs
+// to thread through the pipeline, and Finish on exit to write the
+// requested snapshot files.
+type Flags struct {
+	// MetricsOut is the path the metrics snapshot JSON is written to on
+	// exit; empty disables the sink.
+	MetricsOut string
+	// TraceOut is the path the span timeline JSON is written to on exit;
+	// empty disables the sink.
+	TraceOut string
+	// DebugAddr is the listen address of the live debug HTTP endpoint
+	// (expvar, pprof, /debug/obs); empty disables the server.
+	DebugAddr string
+}
+
+// Register installs the three observability flags on fs.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write a JSON metrics snapshot to this file on exit")
+	fs.StringVar(&f.TraceOut, "trace-out", "", "write the JSON span timeline to this file on exit")
+	fs.StringVar(&f.DebugAddr, "debug-addr", "", "serve expvar, pprof and /debug/obs on this address (e.g. localhost:8080)")
+}
+
+// Enabled reports whether any observability sink was requested.
+func (f *Flags) Enabled() bool {
+	return f.MetricsOut != "" || f.TraceOut != "" || f.DebugAddr != ""
+}
+
+// Start returns the Obs to thread through the pipeline — nil when no sink
+// was requested, so instrumented code stays on its zero-overhead path —
+// and starts the debug endpoint when -debug-addr is set, logging the bound
+// address to w.
+func (f *Flags) Start(w io.Writer) (*Obs, error) {
+	if !f.Enabled() {
+		return nil, nil
+	}
+	o := New()
+	if f.DebugAddr != "" {
+		_, addr, err := ServeDebug(f.DebugAddr, o)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "debug endpoint: http://%s/debug/obs\n", addr)
+	}
+	return o, nil
+}
+
+// Finish writes the requested snapshot files. Safe on a nil o (no sink
+// requested), so commands can call it unconditionally.
+func (f *Flags) Finish(o *Obs) error {
+	if o == nil {
+		return nil
+	}
+	if f.MetricsOut != "" {
+		if err := o.Metrics.WriteFile(f.MetricsOut); err != nil {
+			return err
+		}
+	}
+	if f.TraceOut != "" {
+		if err := o.Trace.WriteFile(f.TraceOut); err != nil {
+			return err
+		}
+	}
+	return nil
+}

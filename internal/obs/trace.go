@@ -1,0 +1,265 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultTraceLimit bounds the in-memory span buffer of a tracer created
+// with limit <= 0. 4096 spans comfortably covers a full compress or
+// retrieve run at the paper's 5-level × 32-plane configuration.
+const DefaultTraceLimit = 4096
+
+// Tracer records a bounded in-memory trace of spans. Spans beyond the
+// limit are counted as dropped rather than grown — a trace is a debugging
+// artifact, not an unbounded log. A nil *Tracer hands out nil spans and
+// every span operation on a nil *Span is a no-op.
+type Tracer struct {
+	limit  int
+	nextID atomic.Int64
+
+	mu      sync.Mutex
+	spans   []SpanRecord
+	dropped int64
+}
+
+// NewTracer returns a tracer that retains at most limit finished spans
+// (limit <= 0 means DefaultTraceLimit).
+func NewTracer(limit int) *Tracer {
+	if limit <= 0 {
+		limit = DefaultTraceLimit
+	}
+	return &Tracer{limit: limit}
+}
+
+// Span is one in-flight traced operation. Create with Tracer.Start (or
+// Span.Child), attach attributes, then End it exactly once. A nil *Span
+// is inert, so callers never need to guard on tracing being enabled.
+type Span struct {
+	t      *Tracer
+	id     int64
+	parent int64
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs map[string]any
+	ended bool
+}
+
+// Start begins a span under the given parent (nil parent means a root
+// span). Returns nil on a nil tracer.
+func (t *Tracer) Start(name string, parent *Span) *Span {
+	if t == nil {
+		return nil
+	}
+	var pid int64
+	if parent != nil {
+		pid = parent.id
+	}
+	return &Span{
+		t:      t,
+		id:     t.nextID.Add(1),
+		parent: pid,
+		name:   name,
+		start:  time.Now(),
+	}
+}
+
+// Child starts a sub-span of s. Returns nil on a nil span, so span trees
+// degrade gracefully when tracing is off.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.Start(name, s)
+}
+
+// SetAttr attaches one key/value attribute to the span. Values should be
+// JSON-marshalable (numbers, strings, bools). No-op on a nil or ended
+// span.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = make(map[string]any)
+	}
+	s.attrs[key] = value
+}
+
+// End finishes the span and commits it to the tracer's buffer. Ending a
+// span twice records it once; ending a nil span is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := time.Now()
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+	rec := SpanRecord{
+		ID:      s.id,
+		Parent:  s.parent,
+		Name:    s.name,
+		StartNs: s.start.UnixNano(),
+		DurNs:   end.Sub(s.start).Nanoseconds(),
+		Attrs:   attrs,
+	}
+	t := s.t
+	t.mu.Lock()
+	if len(t.spans) < t.limit {
+		t.spans = append(t.spans, rec)
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// SpanRecord is one finished span in the JSON timeline.
+type SpanRecord struct {
+	// ID is the span's unique id within its tracer (1-based).
+	ID int64 `json:"id"`
+	// Parent is the id of the enclosing span, 0 for roots.
+	Parent int64 `json:"parent"`
+	// Name is the stage name ("decompose.pass", "storage.segment", ...).
+	Name string `json:"name"`
+	// StartNs is the span start as Unix nanoseconds.
+	StartNs int64 `json:"start_ns"`
+	// DurNs is the span duration in nanoseconds.
+	DurNs int64 `json:"dur_ns"`
+	// Attrs carries the per-span attributes, if any.
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// Timeline returns the finished spans ordered by start time (ties broken
+// by id, so the order is deterministic).
+func (t *Tracer) Timeline() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]SpanRecord(nil), t.spans...)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].StartNs != out[j].StartNs {
+			return out[i].StartNs < out[j].StartNs
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Dropped returns the number of spans discarded because the buffer was
+// full.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// StageStat is one row of the flat per-stage duration table: every span
+// sharing a name aggregated into count/total/min/max durations.
+type StageStat struct {
+	// Name is the shared span name.
+	Name string `json:"name"`
+	// Count is the number of spans with this name.
+	Count int64 `json:"count"`
+	// TotalNs, MinNs and MaxNs aggregate the span durations.
+	TotalNs int64 `json:"total_ns"`
+	MinNs   int64 `json:"min_ns"`
+	MaxNs   int64 `json:"max_ns"`
+}
+
+// Stages aggregates the timeline by span name, sorted by descending total
+// duration (ties by name for determinism).
+func (t *Tracer) Stages() []StageStat {
+	if t == nil {
+		return nil
+	}
+	byName := make(map[string]*StageStat)
+	for _, s := range t.Timeline() {
+		st, ok := byName[s.Name]
+		if !ok {
+			st = &StageStat{Name: s.Name, MinNs: s.DurNs, MaxNs: s.DurNs}
+			byName[s.Name] = st
+		}
+		st.Count++
+		st.TotalNs += s.DurNs
+		if s.DurNs < st.MinNs {
+			st.MinNs = s.DurNs
+		}
+		if s.DurNs > st.MaxNs {
+			st.MaxNs = s.DurNs
+		}
+	}
+	out := make([]StageStat, 0, len(byName))
+	for _, st := range byName {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalNs != out[j].TotalNs {
+			return out[i].TotalNs > out[j].TotalNs
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// TraceDump is the JSON document written by Tracer.WriteJSON: the full
+// span timeline plus the aggregated per-stage duration table.
+type TraceDump struct {
+	// Spans is the timeline ordered by start time.
+	Spans []SpanRecord `json:"spans"`
+	// Stages is the flat per-stage duration table.
+	Stages []StageStat `json:"stages"`
+	// Dropped counts spans lost to the buffer bound.
+	Dropped int64 `json:"dropped"`
+}
+
+// WriteJSON writes the trace dump (timeline + stage table) as indented
+// JSON.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	dump := TraceDump{Spans: t.Timeline(), Stages: t.Stages(), Dropped: t.Dropped()}
+	if dump.Spans == nil {
+		dump.Spans = []SpanRecord{}
+	}
+	if dump.Stages == nil {
+		dump.Stages = []StageStat{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(dump)
+}
+
+// WriteFile writes the trace dump to path, truncating any existing file.
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: create %s: %w", path, err)
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: write %s: %w", path, err)
+	}
+	return f.Close()
+}

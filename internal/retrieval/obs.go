@@ -1,0 +1,40 @@
+package retrieval
+
+import "pmgard/internal/obs"
+
+// countingEstimator wraps an ErrorEstimator and counts Estimate calls, the
+// planner's unit of search work.
+type countingEstimator struct {
+	est ErrorEstimator
+	n   int64
+}
+
+// Estimate implements ErrorEstimator.
+func (c *countingEstimator) Estimate(levelErrs []float64) float64 {
+	c.n++
+	return c.est.Estimate(levelErrs)
+}
+
+// GreedyPlanObs is GreedyPlan with planner telemetry recorded into o:
+//
+//	retrieval.greedy.plans           counter — GreedyPlanObs invocations
+//	retrieval.greedy.estimator_calls counter — estimator iterations walked
+//	retrieval.plan span              — one per invocation, attrs tol/bytes
+//
+// A nil o is exactly GreedyPlan.
+func GreedyPlanObs(levels []LevelInfo, est ErrorEstimator, tol float64, o *obs.Obs) (Plan, error) {
+	if o == nil {
+		return GreedyPlan(levels, est, tol)
+	}
+	sp := o.Span("retrieval.plan", nil)
+	sp.SetAttr("tol", tol)
+	counting := &countingEstimator{est: est}
+	plan, err := GreedyPlan(levels, counting, tol)
+	o.Counter("retrieval.greedy.plans").Add(1)
+	o.Counter("retrieval.greedy.estimator_calls").Add(counting.n)
+	if err == nil {
+		sp.SetAttr("bytes", plan.Bytes)
+	}
+	sp.End()
+	return plan, err
+}

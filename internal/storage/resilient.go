@@ -7,7 +7,10 @@ import (
 	"math/rand"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"pmgard/internal/obs"
 )
 
 // Fault-class sentinels. Error producers (the stores in this package, the
@@ -117,7 +120,10 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	return p
 }
 
-// RetryStats counts what the retry layer did, for tests and CLI reporting.
+// RetryStats is a point-in-time view over the retry layer's counters, for
+// tests and CLI reporting. The counters themselves live in obs instruments
+// (standalone by default, registry-backed after Instrument), so the same
+// numbers appear in a -metrics-out snapshot and in this struct.
 type RetryStats struct {
 	// Reads is the number of Segment calls served (including failures).
 	Reads int64
@@ -132,6 +138,41 @@ type RetryStats struct {
 	// Quarantined is the number of (level, plane) segments marked
 	// permanently unavailable.
 	Quarantined int64
+	// BytesTransferred is the payload bytes delivered by successful reads.
+	BytesTransferred int64
+	// BytesWasted is the payload bytes fetched by attempts whose result was
+	// abandoned (reads that finished after their timeout fired).
+	BytesWasted int64
+	// BackoffSeconds is the total time spent sleeping between retries.
+	BackoffSeconds float64
+}
+
+// retryCounters are the live instruments behind RetryStats. The zero-ish
+// constructor wires standalone instruments so a RetryingSource counts
+// exactly even without a registry; Instrument rebinds them to shared,
+// registry-named instruments.
+type retryCounters struct {
+	reads       *obs.Counter
+	retries     *obs.Counter
+	recovered   *obs.Counter
+	exhausted   *obs.Counter
+	quarantined *obs.Counter
+	bytesOK     *obs.Counter
+	bytesWaste  *obs.Counter
+	backoff     *obs.Gauge
+}
+
+func newRetryCounters() retryCounters {
+	return retryCounters{
+		reads:       new(obs.Counter),
+		retries:     new(obs.Counter),
+		recovered:   new(obs.Counter),
+		exhausted:   new(obs.Counter),
+		quarantined: new(obs.Counter),
+		bytesOK:     new(obs.Counter),
+		bytesWaste:  new(obs.Counter),
+		backoff:     new(obs.Gauge),
+	}
 }
 
 // RetryingSource wraps any PlaneSource with per-read timeouts, bounded
@@ -149,7 +190,7 @@ type RetryingSource struct {
 	mu          sync.Mutex
 	rng         *rand.Rand
 	quarantined map[SegmentID]error
-	stats       RetryStats
+	c           retryCounters
 }
 
 // NewRetryingSource wraps src under the given policy. ctx bounds every
@@ -168,15 +209,44 @@ func NewRetryingSource(ctx context.Context, src PlaneSource, pol RetryPolicy) *R
 		ctx:         ctx,
 		rng:         rand.New(rand.NewSource(seed)),
 		quarantined: make(map[SegmentID]error),
+		c:           newRetryCounters(),
 	}
+}
+
+// Instrument rebinds the retry counters to shared instruments in o's
+// registry under storage.retry.*, folding in anything counted so far, so a
+// metrics snapshot and Stats() report the same numbers. Call it before the
+// source is shared across goroutines; instrumenting mid-flight races with
+// concurrent reads. A nil or metrics-less o is a no-op.
+func (r *RetryingSource) Instrument(o *obs.Obs) {
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	bind := func(dst **obs.Counter, name string) {
+		c := o.Counter("storage.retry." + name)
+		c.Add((*dst).Value())
+		*dst = c
+	}
+	bind(&r.c.reads, "reads")
+	bind(&r.c.retries, "retries")
+	bind(&r.c.recovered, "recovered")
+	bind(&r.c.exhausted, "exhausted")
+	bind(&r.c.quarantined, "quarantined")
+	bind(&r.c.bytesOK, "bytes_transferred")
+	bind(&r.c.bytesWaste, "bytes_wasted")
+	g := o.Gauge("storage.retry.backoff_seconds")
+	g.Add(r.c.backoff.Value())
+	r.c.backoff = g
 }
 
 // Segment implements PlaneSource (and core.SegmentSource) with the retry
 // protocol.
 func (r *RetryingSource) Segment(level, plane int) ([]byte, error) {
 	id := SegmentID{Level: level, Plane: plane}
+	r.c.reads.Add(1)
 	r.mu.Lock()
-	r.stats.Reads++
 	if qerr, ok := r.quarantined[id]; ok {
 		r.mu.Unlock()
 		return nil, qerr
@@ -190,10 +260,9 @@ func (r *RetryingSource) Segment(level, plane int) ([]byte, error) {
 		}
 		payload, err := r.readOnce(level, plane)
 		if err == nil {
+			r.c.bytesOK.Add(int64(len(payload)))
 			if attempt > 1 {
-				r.mu.Lock()
-				r.stats.Recovered++
-				r.mu.Unlock()
+				r.c.recovered.Add(1)
 			}
 			return payload, nil
 		}
@@ -202,20 +271,18 @@ func (r *RetryingSource) Segment(level, plane int) ([]byte, error) {
 			qerr := fmt.Errorf("storage: level %d plane %d quarantined: %w: %w", level, plane, ErrPermanent, err)
 			r.mu.Lock()
 			r.quarantined[id] = qerr
-			r.stats.Quarantined++
 			r.mu.Unlock()
+			r.c.quarantined.Add(1)
 			return nil, qerr
 		}
 		if attempt < r.pol.MaxAttempts {
-			r.mu.Lock()
-			r.stats.Retries++
-			r.mu.Unlock()
-			r.pol.Sleep(r.backoff(attempt))
+			r.c.retries.Add(1)
+			d := r.backoff(attempt)
+			r.c.backoff.Add(d.Seconds())
+			r.pol.Sleep(d)
 		}
 	}
-	r.mu.Lock()
-	r.stats.Exhausted++
-	r.mu.Unlock()
+	r.c.exhausted.Add(1)
 	return nil, fmt.Errorf("storage: level %d plane %d failed after %d attempts: %w",
 		level, plane, r.pol.MaxAttempts, last)
 }
@@ -233,8 +300,16 @@ func (r *RetryingSource) readOnce(level, plane int) ([]byte, error) {
 		err     error
 	}
 	ch := make(chan result, 1)
+	var abandoned atomic.Bool
 	go func() {
 		p, err := r.src.Segment(level, plane)
+		// An abandoned read still moved payload bytes off the tier; account
+		// them as waste so fetched-byte totals reflect real transfer cost.
+		// (A read finishing in the instant between the timeout firing and
+		// the flag store goes uncounted — acceptable telemetry slack.)
+		if abandoned.Load() {
+			r.c.bytesWaste.Add(int64(len(p)))
+		}
 		// Non-blocking send: once the caller has taken the timeout or
 		// cancellation branch nobody ever receives, and a blocking send
 		// would pin this goroutine (and the payload) forever. The buffer
@@ -255,9 +330,11 @@ func (r *RetryingSource) readOnce(level, plane int) ([]byte, error) {
 	case res := <-ch:
 		return res.payload, res.err
 	case <-timeout:
+		abandoned.Store(true)
 		return nil, fmt.Errorf("storage: read level %d plane %d timed out after %v: %w",
 			level, plane, r.pol.Timeout, ErrTransient)
 	case <-r.ctx.Done():
+		abandoned.Store(true)
 		return nil, fmt.Errorf("storage: read level %d plane %d: %w", level, plane, r.ctx.Err())
 	}
 }
@@ -278,9 +355,16 @@ func (r *RetryingSource) backoff(attempt int) time.Duration {
 
 // Stats returns a snapshot of the retry counters.
 func (r *RetryingSource) Stats() RetryStats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.stats
+	return RetryStats{
+		Reads:            r.c.reads.Value(),
+		Retries:          r.c.retries.Value(),
+		Recovered:        r.c.recovered.Value(),
+		Exhausted:        r.c.exhausted.Value(),
+		Quarantined:      r.c.quarantined.Value(),
+		BytesTransferred: r.c.bytesOK.Value(),
+		BytesWasted:      r.c.bytesWaste.Value(),
+		BackoffSeconds:   r.c.backoff.Value(),
+	}
 }
 
 // Quarantined returns the segments marked permanently unavailable so far,

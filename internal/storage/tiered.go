@@ -8,6 +8,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"pmgard/internal/obs"
 )
 
 // TieredWriter materializes the paper's storage-hierarchy placement: each
@@ -190,6 +192,26 @@ type TieredStore struct {
 	mu        sync.Mutex
 	tierBytes map[string]int64
 	tierReqs  map[string]int64
+	o         *obs.Obs
+}
+
+// Instrument mirrors the per-tier accounting into o's registry as
+// storage.tier.<name>.bytes_read / .requests counters, folding in bytes
+// already read. Call before sharing the store across goroutines; a nil or
+// metrics-less o is a no-op.
+func (s *TieredStore) Instrument(o *obs.Obs) {
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.o = o
+	for tier, b := range s.tierBytes {
+		o.Counter("storage.tier." + tier + ".bytes_read").Add(b)
+	}
+	for tier, n := range s.tierReqs {
+		o.Counter("storage.tier." + tier + ".requests").Add(n)
+	}
 }
 
 // OpenTiered opens a tiered store directory.
@@ -300,7 +322,12 @@ func (s *TieredStore) ReadSegment(id SegmentID) ([]byte, error) {
 	s.mu.Lock()
 	s.tierBytes[tier] += int64(len(buf))
 	s.tierReqs[tier]++
+	o := s.o
 	s.mu.Unlock()
+	if o != nil {
+		o.Counter("storage.tier." + tier + ".bytes_read").Add(int64(len(buf)))
+		o.Counter("storage.tier." + tier + ".requests").Add(1)
+	}
 	return buf, nil
 }
 

@@ -28,6 +28,7 @@ import (
 	"pmgard/internal/emgard"
 	"pmgard/internal/features"
 	"pmgard/internal/grid"
+	"pmgard/internal/obs"
 	"pmgard/internal/retrieval"
 	"pmgard/internal/storage"
 )
@@ -158,6 +159,16 @@ func MaxAbsDiff(a, b *Tensor) float64 { return grid.MaxAbsDiff(a, b) }
 // PSNR returns the peak signal-to-noise ratio of reconstruction b against
 // original a, in dB.
 func PSNR(a, b *Tensor) float64 { return grid.PSNR(a, b) }
+
+// Obs bundles the optional observability facilities — a concurrency-safe
+// metrics registry and a bounded span tracer — threaded through the
+// pipeline via Config.Obs, TrainConfig fields and the Instrument methods.
+// nil (the default everywhere) disables all telemetry and never changes
+// any result; see DESIGN.md §8 for the metric names and trace schema.
+type Obs = obs.Obs
+
+// NewObs returns an Obs with a fresh metrics registry and tracer.
+func NewObs() *Obs { return obs.New() }
 
 // Session is a stateful progressive retrieval that fetches only deltas as
 // the tolerance tightens (earlier reads are never wasted). Its Refine
