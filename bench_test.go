@@ -11,6 +11,8 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"path/filepath"
+	"sync"
 	"testing"
 
 	"pmgard/internal/bitplane"
@@ -312,6 +314,85 @@ func BenchmarkTrainParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSessionShared compares two concurrent sessions refining the same
+// field to the same tolerance with and without the shared plane cache — the
+// multi-session serving scenario recorded in BENCH_cache.json. The shared
+// variant reuses one warm cache across iterations, so it measures the
+// steady-state serving cost (decode + recompose only); the independent
+// variant pays store reads and decompression in both sessions every time.
+func BenchmarkSessionShared(b *testing.B) {
+	field, err := warpx.DefaultConfig(33, 33, 33).Field("Jx", 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := Compress(field, DefaultConfig(), "Jx", 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Serve from a store file, as cmd/serve does: the independent variant
+	// pays store reads + decompression in both sessions, the shared variant
+	// hits the warm cache.
+	path := filepath.Join(b.TempDir(), "jx.pmgd")
+	if err := c.WriteFile(path); err != nil {
+		b.Fatal(err)
+	}
+	h, st, err := OpenFile(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	src := StoreSource{Store: st}
+	est := h.TheoryEstimator()
+	tol := h.AbsTolerance(1e-6)
+
+	refinePair := func(b *testing.B, open func() (*Session, error)) {
+		var wg sync.WaitGroup
+		errs := make([]error, 2)
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				s, err := open()
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				_, _, _, errs[i] = s.Refine(est, tol)
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("independent", func(b *testing.B) {
+		b.SetBytes(int64(2 * 8 * field.Len()))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			refinePair(b, func() (*Session, error) { return NewSession(h, src) })
+		}
+	})
+	b.Run("shared", func(b *testing.B) {
+		cache := NewPlaneCache(0)
+		// Warm pass outside the timer: steady-state serving hits the cache.
+		refinePair(b, func() (*Session, error) {
+			return NewSharedSession(h, SharedSource{Src: src, Cache: cache})
+		})
+		b.SetBytes(int64(2 * 8 * field.Len()))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			refinePair(b, func() (*Session, error) {
+				return NewSharedSession(h, SharedSource{Src: src, Cache: cache})
+			})
+		}
+	})
 }
 
 // BenchmarkGreedyPlan measures the planner on a realistic 5-level header.

@@ -7,9 +7,13 @@
 // Usage:
 //
 //	obscheck -in metrics.json -require core.fetch.bytes,pool.fetch.completed
+//	obscheck -in metrics.json -nonzero servecache.hits
 //
-// Exits 0 when every required name is present, 1 otherwise (listing the
-// missing names on stderr), 2 on usage or parse errors.
+// -require checks presence; -nonzero additionally checks the named
+// counters are present and moved above zero (the CI serve smoke uses it to
+// prove the shared cache actually served hits). Exits 0 when every check
+// passes, 1 otherwise (listing the failures on stderr), 2 on usage or
+// parse errors.
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 func main() {
 	in := flag.String("in", "", "metrics snapshot JSON file to validate")
 	require := flag.String("require", "", "comma-separated metric names that must be present")
+	nonzero := flag.String("nonzero", "", "comma-separated counter names that must be present and > 0")
 	list := flag.Bool("list", false, "print every metric name in the snapshot")
 	flag.Parse()
 	if *in == "" {
@@ -60,6 +65,15 @@ func main() {
 		}
 		if !snap.Has(name) {
 			missing = append(missing, name)
+		}
+	}
+	for _, name := range strings.Split(*nonzero, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if v, ok := snap.Counters[name]; !ok || v <= 0 {
+			missing = append(missing, fmt.Sprintf("%s (counter, must be > 0; have %d)", name, v))
 		}
 	}
 	if len(missing) > 0 {

@@ -1,0 +1,391 @@
+// Command serve exposes progressive retrieval over HTTP for many
+// concurrent analysts — the paper's core usage pattern (§II-A) at serving
+// scale. Every refine request runs its own core.Session, but all sessions
+// share one servecache.Cache, so concurrent refinements of the same field
+// deduplicate store reads and lossless decompression (singleflight) and
+// warm requests are served from memory within the byte budget.
+//
+// Usage:
+//
+//	serve -in jx.pmgd[,ex.pmgd...] [-tiered dir,...] [-addr localhost:8080]
+//	      [-cache-bytes 268435456] [-retries 8]
+//	      [-metrics-out metrics.json] [-trace-out trace.json] [-debug-addr addr]
+//
+// Endpoints:
+//
+//	GET /fields                      — names of the served fields
+//	GET /open?field=Jx               — header summary of one field
+//	GET /refine?field=Jx&rel=1e-4    — refine to a tolerance (or abs=),
+//	                                   returns plan, bytes, checksum
+//	GET /metrics                     — live metrics snapshot JSON
+//	GET /healthz                     — liveness probe
+//
+// The standard observability flags behave as in cmd/mgard: -metrics-out
+// and -trace-out write snapshots on shutdown (SIGINT/SIGTERM), -debug-addr
+// serves expvar + pprof + /debug/obs alongside the API.
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"pmgard/internal/core"
+	"pmgard/internal/grid"
+	"pmgard/internal/obs"
+	"pmgard/internal/servecache"
+	"pmgard/internal/storage"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:8080", "listen address for the API")
+	in := fs.String("in", "", "comma-separated .pmgd files to serve")
+	tiered := fs.String("tiered", "", "comma-separated tiered-store directories to serve")
+	cacheBytes := fs.Int64("cache-bytes", 256<<20, "shared plane-cache budget in decompressed bytes (0 = unbounded)")
+	retries := fs.Int("retries", 0, "wrap stores in the retry/backoff layer with this attempt cap (0 = no retry layer)")
+	var of obs.Flags
+	of.Register(fs)
+	fs.Parse(args)
+	if *in == "" && *tiered == "" {
+		return fmt.Errorf("-in or -tiered is required")
+	}
+	o, err := of.Start(os.Stderr)
+	if err != nil {
+		return err
+	}
+	if o == nil {
+		// The server always keeps a registry: /metrics serves it live even
+		// when no snapshot file or debug endpoint was requested.
+		o = obs.New()
+	}
+
+	srv, err := newServer(serverConfig{
+		CacheBytes: *cacheBytes,
+		Retries:    *retries,
+		Obs:        o,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.close()
+	for _, path := range splitList(*in) {
+		if err := srv.addFile(path); err != nil {
+			return err
+		}
+	}
+	for _, dir := range splitList(*tiered) {
+		if err := srv.addTiered(dir); err != nil {
+			return err
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *addr, err)
+	}
+	httpSrv := &http.Server{Handler: srv.mux()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	fmt.Printf("serving %s on http://%s (cache budget %d bytes)\n",
+		strings.Join(srv.names, ", "), ln.Addr(), *cacheBytes)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		fmt.Printf("received %v, shutting down\n", s)
+	}
+	httpSrv.Close()
+	return of.Finish(o)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// fieldHandle is one served field: its header, the (possibly retry-wrapped)
+// segment source, and the handle to release on shutdown.
+type fieldHandle struct {
+	header *core.Header
+	src    core.SegmentSource
+	close  func() error
+}
+
+// serverConfig configures a server independently of flag parsing so tests
+// can construct one directly.
+type serverConfig struct {
+	// CacheBytes is the shared cache budget (0 = unbounded).
+	CacheBytes int64
+	// Retries, when > 0, wraps every source in a storage.RetryingSource
+	// with this attempt cap — below the cache, so retried fetches are
+	// deduplicated too.
+	Retries int
+	// Obs receives the server's telemetry; must be non-nil.
+	Obs *obs.Obs
+}
+
+// server is the HTTP serving layer: a set of opened fields and the shared
+// plane cache every request session consults.
+type server struct {
+	cfg    serverConfig
+	fields map[string]*fieldHandle
+	names  []string
+	cache  *servecache.Cache
+	o      *obs.Obs
+}
+
+func newServer(cfg serverConfig) (*server, error) {
+	if cfg.Obs == nil {
+		return nil, fmt.Errorf("server needs an Obs (use obs.New())")
+	}
+	cache := servecache.New(cfg.CacheBytes)
+	cache.Instrument(cfg.Obs)
+	return &server{
+		cfg:    cfg,
+		fields: make(map[string]*fieldHandle),
+		cache:  cache,
+		o:      cfg.Obs,
+	}, nil
+}
+
+// add registers an opened field under its header's field name, layering the
+// retry source when configured.
+func (s *server) add(h *core.Header, src core.SegmentSource, closeFn func() error) error {
+	if _, ok := s.fields[h.FieldName]; ok {
+		return fmt.Errorf("duplicate field %q", h.FieldName)
+	}
+	if s.cfg.Retries > 0 {
+		pol := storage.DefaultRetryPolicy()
+		pol.MaxAttempts = s.cfg.Retries
+		retrying := storage.NewRetryingSource(nil, src, pol)
+		retrying.Instrument(s.o)
+		src = retrying
+	}
+	s.fields[h.FieldName] = &fieldHandle{header: h, src: src, close: closeFn}
+	s.names = append(s.names, h.FieldName)
+	return nil
+}
+
+func (s *server) addFile(path string) error {
+	h, st, err := core.OpenFile(path)
+	if err != nil {
+		return err
+	}
+	return s.add(h, core.StoreSource{Store: st}, st.Close)
+}
+
+func (s *server) addTiered(dir string) error {
+	h, st, err := core.OpenTiered(dir)
+	if err != nil {
+		return err
+	}
+	st.Instrument(s.o)
+	return s.add(h, core.TieredSource{Store: st}, st.Close)
+}
+
+func (s *server) close() {
+	for _, fh := range s.fields {
+		if fh.close != nil {
+			fh.close()
+		}
+	}
+}
+
+// mux returns the API routes.
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fields", s.handleFields)
+	mux.HandleFunc("/open", s.handleOpen)
+	mux.HandleFunc("/refine", s.handleRefine)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// lookup resolves the field query parameter; with a single served field the
+// parameter is optional.
+func (s *server) lookup(r *http.Request) (*fieldHandle, string, error) {
+	name := r.URL.Query().Get("field")
+	if name == "" {
+		if len(s.names) == 1 {
+			name = s.names[0]
+		} else {
+			return nil, "", fmt.Errorf("field parameter required (serving %s)", strings.Join(s.names, ", "))
+		}
+	}
+	fh, ok := s.fields[name]
+	if !ok {
+		return nil, name, fmt.Errorf("unknown field %q (serving %s)", name, strings.Join(s.names, ", "))
+	}
+	return fh, name, nil
+}
+
+func (s *server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *server) fail(w http.ResponseWriter, code int, err error) {
+	s.o.Counter("serve.errors").Add(1)
+	http.Error(w, err.Error(), code)
+}
+
+func (s *server) handleFields(w http.ResponseWriter, _ *http.Request) {
+	s.o.Counter("serve.requests").Add(1)
+	s.writeJSON(w, map[string]any{"fields": s.names})
+}
+
+// openResponse is the /open document: the header facts a client needs to
+// plan refinements without fetching payload.
+type openResponse struct {
+	Field      string  `json:"field"`
+	Timestep   int     `json:"timestep"`
+	Dims       []int   `json:"dims"`
+	Levels     int     `json:"levels"`
+	Planes     int     `json:"planes"`
+	Codec      string  `json:"codec"`
+	ValueRange float64 `json:"value_range"`
+	TotalBytes int64   `json:"total_bytes"`
+}
+
+func (s *server) handleOpen(w http.ResponseWriter, r *http.Request) {
+	s.o.Counter("serve.requests").Add(1)
+	fh, _, err := s.lookup(r)
+	if err != nil {
+		s.fail(w, http.StatusNotFound, err)
+		return
+	}
+	h := fh.header
+	s.writeJSON(w, openResponse{
+		Field:      h.FieldName,
+		Timestep:   h.Timestep,
+		Dims:       h.Dims,
+		Levels:     len(h.Levels),
+		Planes:     h.Planes,
+		Codec:      h.CodecName,
+		ValueRange: h.ValueRange,
+		TotalBytes: h.TotalBytes(),
+	})
+}
+
+// refineResponse is the /refine document: the executed plan and enough
+// derived facts (checksum, byte counts) for clients to verify agreement
+// across requests without shipping the reconstruction itself.
+type refineResponse struct {
+	Field          string  `json:"field"`
+	Tolerance      float64 `json:"tolerance"`
+	Planes         []int   `json:"planes"`
+	BytesFetched   int64   `json:"bytes_fetched"`
+	EstimatedError float64 `json:"estimated_error"`
+	Degraded       bool    `json:"degraded"`
+	Checksum       string  `json:"checksum"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+}
+
+func (s *server) handleRefine(w http.ResponseWriter, r *http.Request) {
+	s.o.Counter("serve.requests").Add(1)
+	fh, _, err := s.lookup(r)
+	if err != nil {
+		s.fail(w, http.StatusNotFound, err)
+		return
+	}
+	h := fh.header
+	tol, err := parseTolerance(r, h)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	start := time.Now()
+	sess, err := core.NewSharedSession(h, core.SharedSource{Src: fh.src, Cache: s.cache})
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	sess.Instrument(s.o)
+	rec, plan, deg, err := sess.Refine(h.TheoryEstimator(), tol)
+	if err != nil {
+		s.fail(w, http.StatusBadGateway, fmt.Errorf("refine: %w", err))
+		return
+	}
+	elapsed := time.Since(start).Seconds()
+	s.o.Counter("serve.refines").Add(1)
+	s.o.Histogram("serve.refine_seconds", obs.LatencyBuckets()).Observe(elapsed)
+	s.writeJSON(w, refineResponse{
+		Field:          h.FieldName,
+		Tolerance:      tol,
+		Planes:         plan.Planes,
+		BytesFetched:   sess.BytesFetched(),
+		EstimatedError: plan.EstimatedError,
+		Degraded:       deg != nil,
+		Checksum:       tensorChecksum(rec),
+		ElapsedSeconds: elapsed,
+	})
+}
+
+func parseTolerance(r *http.Request, h *core.Header) (float64, error) {
+	q := r.URL.Query()
+	if v := q.Get("abs"); v != "" {
+		tol, err := strconv.ParseFloat(v, 64)
+		if err != nil || tol <= 0 {
+			return 0, fmt.Errorf("bad abs tolerance %q", v)
+		}
+		return tol, nil
+	}
+	if v := q.Get("rel"); v != "" {
+		rel, err := strconv.ParseFloat(v, 64)
+		if err != nil || rel <= 0 {
+			return 0, fmt.Errorf("bad rel tolerance %q", v)
+		}
+		return h.AbsTolerance(rel), nil
+	}
+	return 0, fmt.Errorf("rel or abs tolerance parameter required")
+}
+
+// tensorChecksum fingerprints a reconstruction (CRC32 over the little-
+// endian float64 payload) so clients can assert two refinements agreed.
+func tensorChecksum(t *grid.Tensor) string {
+	h := crc32.NewIEEE()
+	var buf [8]byte
+	for _, v := range t.Data() {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%08x", h.Sum32())
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.o.Counter("serve.requests").Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	s.o.Metrics.WriteJSON(w)
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"pmgard/internal/bitplane"
 	"pmgard/internal/decompose"
@@ -9,6 +10,7 @@ import (
 	"pmgard/internal/lossless"
 	"pmgard/internal/obs"
 	"pmgard/internal/retrieval"
+	"pmgard/internal/servecache"
 	"pmgard/internal/storage"
 )
 
@@ -18,11 +20,23 @@ import (
 // usage pattern — an analyst starts with a coarse view and progressively
 // augments accuracy (§II-A) — and the reason bit-plane encodings are used
 // at all: earlier reads are never wasted.
+//
+// A Session is safe for concurrent use: a mutex guards the fetch state, so
+// a serving layer may hand one session to multiple handler goroutines.
+// Refinements are serialized against each other — cross-request sharing of
+// fetch and decompression work belongs in a servecache.Cache shared by many
+// sessions (NewSharedSession), not in concurrent refinements of one.
 type Session struct {
 	header *Header
 	src    SegmentSource
 	codec  lossless.Codec
 	dec    *decompose.Decomposition
+	// cache, when non-nil, is consulted before src for decompressed planes;
+	// shareID namespaces this session's planes within it.
+	cache   *servecache.Cache
+	shareID string
+	// mu guards everything below it.
+	mu sync.Mutex
 	// fetched[l] is how many planes of level l have been read so far.
 	fetched []int
 	// planes[l][k] caches the decompressed plane bitsets.
@@ -38,7 +52,11 @@ type Session struct {
 // wasted fetch bytes, refinement spans, degraded-mode counters — into o.
 // Call before the first RefineTo/Refine; a nil o (the default) disables
 // all of it.
-func (s *Session) Instrument(o *obs.Obs) { s.o = o }
+func (s *Session) Instrument(o *obs.Obs) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.o = o
+}
 
 // NewSession opens a progressive retrieval session over a compressed field.
 func NewSession(h *Header, src SegmentSource) (*Session, error) {
@@ -64,13 +82,58 @@ func NewSession(h *Header, src SegmentSource) (*Session, error) {
 	}, nil
 }
 
+// SharedSource couples a segment source with a shared decompressed-plane
+// cache, the multi-session serving shape: N sessions over the same field
+// share fetch and decompression work through the cache, and concurrent
+// first readers of a plane coalesce onto a single store read (singleflight).
+type SharedSource struct {
+	// Src is the underlying segment source. Layer the cache *above* the
+	// resilience stack: when Src is a storage.RetryingSource, the retry
+	// loop and fault classification for a contended plane also run once
+	// per flight instead of once per session.
+	Src SegmentSource
+	// Cache is the shared plane cache.
+	Cache *servecache.Cache
+	// FieldID namespaces this field's planes in the cache. Empty derives
+	// "<field>@<timestep>" from the header — sufficient unless two distinct
+	// stores serve fields with colliding names and timesteps.
+	FieldID string
+}
+
+// NewSharedSession opens a progressive retrieval session whose fetch path
+// consults ss.Cache before ss.Src. Per-session semantics are preserved
+// exactly: Fetched and BytesFetched report the same values whether a plane
+// came from the cache or the store, because cache entries replay the
+// compressed payload size their original fetch moved.
+func NewSharedSession(h *Header, ss SharedSource) (*Session, error) {
+	if ss.Cache == nil {
+		return nil, fmt.Errorf("core: shared session needs a cache")
+	}
+	s, err := NewSession(h, ss.Src)
+	if err != nil {
+		return nil, err
+	}
+	s.cache = ss.Cache
+	s.shareID = ss.FieldID
+	if s.shareID == "" {
+		s.shareID = fmt.Sprintf("%s@%d", h.FieldName, h.Timestep)
+	}
+	return s, nil
+}
+
 // Fetched returns the per-level plane counts read so far.
 func (s *Session) Fetched() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return append([]int(nil), s.fetched...)
 }
 
 // BytesFetched returns the cumulative payload bytes read by this session.
-func (s *Session) BytesFetched() int64 { return s.bytes }
+func (s *Session) BytesFetched() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
 
 // Degradation reports a degraded-mode refinement: planes the plan wanted
 // but could not have because the store lost them permanently. The session
@@ -109,6 +172,8 @@ func (s *Session) RefineTo(target []int) (*grid.Tensor, error) {
 			return nil, fmt.Errorf("core: session target level %d plane count %d out of range", l, want)
 		}
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	sp := s.o.Span("session.refine_to", nil)
 	defer sp.End()
 	for l, want := range target {
@@ -121,7 +186,7 @@ func (s *Session) RefineTo(target []int) (*grid.Tensor, error) {
 
 // fetchLevel extends level l's fetched plane prefix to want planes,
 // advancing the session state plane by plane so a mid-level failure never
-// desynchronizes fetched/planes/bytes.
+// desynchronizes fetched/planes/bytes. s.mu must be held.
 //
 // Failed fetches still count toward BytesFetched when payload was actually
 // delivered: a segment that arrives but fails to decompress (corruption,
@@ -129,29 +194,60 @@ func (s *Session) RefineTo(target []int) (*grid.Tensor, error) {
 // bytes off the store even though the plane was never decoded.
 func (s *Session) fetchLevel(l, want int) error {
 	for k := s.fetched[l]; k < want; k++ {
-		seg, err := s.src.Segment(l, k)
+		raw, payload, err := s.fetchPlane(l, k)
 		if err != nil {
-			s.bytes += int64(len(seg))
-			s.o.Counter("core.session.bytes_wasted").Add(int64(len(seg)))
+			s.bytes += payload
+			s.o.Counter("core.session.bytes_wasted").Add(payload)
 			return err
 		}
-		raw, err := s.codec.Decompress(seg, s.header.Levels[l].RawPlaneSize)
-		if err != nil {
-			s.bytes += int64(len(seg))
-			s.o.Counter("core.session.bytes_wasted").Add(int64(len(seg)))
-			return fmt.Errorf("core: session level %d plane %d: %w", l, k, err)
-		}
 		s.planes[l][k] = raw
-		s.bytes += s.header.Levels[l].PlaneSizes[k]
+		s.bytes += payload
 		s.fetched[l] = k + 1
 		if s.o != nil {
-			s.o.Counter(fmt.Sprintf("core.session.level%d.bytes_fetched", l)).Add(s.header.Levels[l].PlaneSizes[k])
+			s.o.Counter(fmt.Sprintf("core.session.level%d.bytes_fetched", l)).Add(payload)
 			s.o.Counter(fmt.Sprintf("core.session.level%d.planes_fetched", l)).Add(1)
-			s.o.Counter("core.session.bytes_fetched").Add(s.header.Levels[l].PlaneSizes[k])
+			s.o.Counter("core.session.bytes_fetched").Add(payload)
 			s.o.Counter("core.session.planes_fetched").Add(1)
 		}
 	}
 	return nil
+}
+
+// fetchPlane materializes one decompressed plane, through the shared cache
+// when the session has one. It returns the plane bitset and the compressed
+// payload bytes the plane's fetch moved; on error the payload is the bytes
+// a failed transfer still delivered (counted as wasted by the caller).
+func (s *Session) fetchPlane(l, k int) ([]byte, int64, error) {
+	if s.cache == nil {
+		return s.fetchPlaneStore(l, k)
+	}
+	key := servecache.Key{Field: s.shareID, Level: l, Plane: k}
+	raw, payload, _, err := s.cache.GetOrFetch(key, func() ([]byte, int64, error) {
+		return s.fetchPlaneStore(l, k)
+	})
+	return raw, payload, err
+}
+
+// fetchPlaneStore reads plane (l, k) from the store and decompresses it.
+// The payload length is validated against the manifest before the decoder
+// sees it: a store handing back a segment of the wrong size (truncation the
+// tier did not detect, a mislabeled object) is data corruption, not a
+// plausible plane, and accepting it would silently desynchronize
+// BytesFetched from the manifest-derived plan costs.
+func (s *Session) fetchPlaneStore(l, k int) ([]byte, int64, error) {
+	seg, err := s.src.Segment(l, k)
+	if err != nil {
+		return nil, int64(len(seg)), err
+	}
+	if want := s.header.Levels[l].PlaneSizes[k]; int64(len(seg)) != want {
+		return nil, int64(len(seg)), fmt.Errorf("core: session level %d plane %d payload is %d bytes, manifest says %d: %w",
+			l, k, len(seg), want, storage.ErrCorrupt)
+	}
+	raw, err := s.codec.Decompress(seg, s.header.Levels[l].RawPlaneSize)
+	if err != nil {
+		return nil, int64(len(seg)), fmt.Errorf("core: session level %d plane %d: %w", l, k, err)
+	}
+	return raw, int64(len(seg)), nil
 }
 
 // Refine plans greedily under est at an absolute tolerance, never dropping
@@ -168,6 +264,8 @@ func (s *Session) fetchLevel(l, want int) error {
 // a storage.RetryingSource) still abort with an error, with the session
 // state left consistent for a later retry.
 func (s *Session) Refine(est retrieval.ErrorEstimator, tol float64) (*grid.Tensor, retrieval.Plan, *Degradation, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	sp := s.o.Span("session.refine", nil)
 	sp.SetAttr("tol", tol)
 	defer sp.End()
@@ -234,7 +332,8 @@ func (s *Session) Refine(est retrieval.ErrorEstimator, tol float64) (*grid.Tenso
 	return rec, exec, deg, nil
 }
 
-// reconstruct decodes the fetched planes and recomposes the field.
+// reconstruct decodes the fetched planes and recomposes the field. s.mu
+// must be held.
 func (s *Session) reconstruct() (*grid.Tensor, error) {
 	for l, lm := range s.header.Levels {
 		enc := &bitplane.LevelEncoding{

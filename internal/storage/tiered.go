@@ -305,12 +305,24 @@ func (s *TieredStore) ReadSegment(id SegmentID) ([]byte, error) {
 		return nil, fmt.Errorf("storage: stat level %d tier file: %w", id.Level, err)
 	}
 	if end := s.offsets[id.Level][id.Plane] + sizes[id.Plane]; end > fi.Size() {
-		return nil, fmt.Errorf("storage: level %d plane %d extends past its tier file", id.Level, id.Plane)
+		return nil, fmt.Errorf("storage: level %d plane %d extends past its tier file (truncated): %w",
+			id.Level, id.Plane, ErrCorrupt)
 	}
 	buf := make([]byte, sizes[id.Plane])
 	if len(buf) > 0 {
-		if _, err := f.ReadAt(buf, s.offsets[id.Level][id.Plane]); err != nil && err != io.EOF {
+		// A short read is truncation, not a transient hiccup: the size check
+		// above can pass and the file still shrink before ReadAt (or the
+		// filesystem lie about Stat), and tolerating io.EOF with a partial n
+		// would hand a zero-padded buffer to version-1 (checksum-less)
+		// manifests, which accept it silently. Re-reading a truncated file
+		// cannot recover the bytes, so the error classifies as permanent.
+		n, err := f.ReadAt(buf, s.offsets[id.Level][id.Plane])
+		if err != nil && err != io.EOF {
 			return nil, fmt.Errorf("storage: read level %d plane %d: %w", id.Level, id.Plane, err)
+		}
+		if n != len(buf) {
+			return nil, fmt.Errorf("storage: level %d plane %d short read (%d of %d bytes, truncated tier file): %w",
+				id.Level, id.Plane, n, len(buf), ErrCorrupt)
 		}
 	}
 	if s.man.Checksums != nil {

@@ -205,12 +205,10 @@ func TestTieredChecksumDetectsCorruption(t *testing.T) {
 	}
 }
 
-func TestTieredReadsVersion1Manifest(t *testing.T) {
-	dir, _ := buildTieredStore(t, map[SegmentID][]byte{
-		{Level: 0, Plane: 0}: []byte("v1 payload"),
-	})
-	// Downgrade the manifest to version 1 (no checksums), as written by
-	// pre-checksum stores.
+// downgradeManifestV1 rewrites a store's manifest as version 1 (no
+// checksums), as written by pre-checksum stores.
+func downgradeManifestV1(t *testing.T, dir string) {
+	t.Helper()
 	manPath := filepath.Join(dir, "manifest.json")
 	blob, err := os.ReadFile(manPath)
 	if err != nil {
@@ -229,6 +227,13 @@ func TestTieredReadsVersion1Manifest(t *testing.T) {
 	if err := os.WriteFile(manPath, blob, 0o644); err != nil {
 		t.Fatal(err)
 	}
+}
+
+func TestTieredReadsVersion1Manifest(t *testing.T) {
+	dir, _ := buildTieredStore(t, map[SegmentID][]byte{
+		{Level: 0, Plane: 0}: []byte("v1 payload"),
+	})
+	downgradeManifestV1(t, dir)
 	st, err := OpenTiered(dir)
 	if err != nil {
 		t.Fatalf("version-1 store rejected: %v", err)
@@ -237,6 +242,50 @@ func TestTieredReadsVersion1Manifest(t *testing.T) {
 	got, err := st.ReadSegment(SegmentID{Level: 0, Plane: 0})
 	if err != nil || !bytes.Equal(got, []byte("v1 payload")) {
 		t.Fatalf("version-1 read: %q, %v", got, err)
+	}
+}
+
+// TestTieredTruncationDetectedWithoutChecksums is the short-read regression
+// test: a tier file truncated after Open must fail the read with a
+// permanent-classifiable error — never return a zero-padded buffer — even
+// against a version-1 manifest, whose missing checksums cannot catch it.
+func TestTieredTruncationDetectedWithoutChecksums(t *testing.T) {
+	dir, _ := buildTieredStore(t, map[SegmentID][]byte{
+		{Level: 0, Plane: 0}: []byte("plane zero"),
+		{Level: 0, Plane: 1}: []byte("plane one payload"),
+	})
+	downgradeManifestV1(t, dir)
+	st, err := OpenTiered(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	// Warm the cached file handle with a good read.
+	if _, err := st.ReadSegment(SegmentID{Level: 0, Plane: 0}); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-way through plane 1, as a tier losing its tail would.
+	tier, err := st.TierOf(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levelPath := filepath.Join(dir, tier, "level_0.seg")
+	if err := os.Truncate(levelPath, int64(len("plane zero")+3)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.ReadSegment(SegmentID{Level: 0, Plane: 1})
+	if err == nil {
+		t.Fatalf("truncated plane read succeeded with %q; zero-padded buffers must not pass", got)
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncation error = %v, want it to wrap ErrCorrupt", err)
+	}
+	if Classify(err) != FaultPermanent {
+		t.Fatal("truncation classified as transient; retries cannot restore lost bytes")
+	}
+	// The intact prefix stays readable: degraded sessions fall back to it.
+	if _, err := st.ReadSegment(SegmentID{Level: 0, Plane: 0}); err != nil {
+		t.Fatalf("plane 0 unreadable after tail truncation: %v", err)
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"pmgard/internal/grid"
 	"pmgard/internal/obs"
 	"pmgard/internal/retrieval"
+	"pmgard/internal/servecache"
 	"pmgard/internal/storage"
 )
 
@@ -184,6 +185,26 @@ func NewSession(h *Header, src SegmentSource) (*Session, error) {
 // Degradation reports a degraded-mode refinement: the planes dropped as
 // permanently unavailable and the error bound still achieved without them.
 type Degradation = core.Degradation
+
+// PlaneCache is a concurrency-safe, byte-budget LRU cache over decompressed
+// plane bitsets with singleflight fetch deduplication — the sharing layer
+// between concurrent sessions serving the same field.
+type PlaneCache = servecache.Cache
+
+// NewPlaneCache returns a cache bounded to budget decompressed bytes
+// (budget ≤ 0 means unbounded).
+func NewPlaneCache(budget int64) *PlaneCache { return servecache.New(budget) }
+
+// SharedSource binds a SegmentSource to a PlaneCache for NewSharedSession.
+type SharedSource = core.SharedSource
+
+// NewSharedSession opens a progressive session whose plane fetches go
+// through a shared cache: concurrent sessions deduplicate store reads and
+// decompression while keeping per-session Fetched/BytesFetched accounting
+// identical to an uncached session's.
+func NewSharedSession(h *Header, ss SharedSource) (*Session, error) {
+	return core.NewSharedSession(h, ss)
+}
 
 // RetryPolicy bounds the retry loop of a RetryingSource.
 type RetryPolicy = storage.RetryPolicy
