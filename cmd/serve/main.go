@@ -41,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"pmgard/internal/bufpool"
 	"pmgard/internal/core"
 	"pmgard/internal/grid"
 	"pmgard/internal/obs"
@@ -167,6 +168,7 @@ func newServer(cfg serverConfig) (*server, error) {
 	}
 	cache := servecache.New(cfg.CacheBytes)
 	cache.Instrument(cfg.Obs)
+	bufpool.Instrument(cfg.Obs)
 	return &server{
 		cfg:    cfg,
 		fields: make(map[string]*fieldHandle),

@@ -1,0 +1,151 @@
+package bitplane
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Kernel benchmarks: word-parallel implementation vs the retained scalar
+// reference, at the paper's configuration (32 planes). BENCH_kernels.json
+// records a sweep of these together with the end-to-end refactor/retrieve
+// benchmarks at the repo root.
+
+const benchN = 1 << 15
+
+func benchCoeffs(n int) []float64 {
+	rng := rand.New(rand.NewSource(9))
+	c := make([]float64, n)
+	for i := range c {
+		c[i] = math.Ldexp(rng.NormFloat64(), rng.Intn(20)-10)
+	}
+	return c
+}
+
+// BenchmarkEncode measures the word-parallel single-thread encode
+// (quantize + plane transpose + incremental error matrix) with pooled
+// buffers recycled every iteration.
+func BenchmarkEncode(b *testing.B) {
+	coeffs := benchCoeffs(benchN)
+	b.SetBytes(benchN * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc, err := EncodeLevel(coeffs, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		enc.Release()
+	}
+}
+
+// BenchmarkEncodeScalarRef measures the retained scalar reference encoder
+// on the same input — the "before" row of BENCH_kernels.json.
+func BenchmarkEncodeScalarRef(b *testing.B) {
+	coeffs := benchCoeffs(benchN)
+	b.SetBytes(benchN * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := encodeLevelModeScalar(coeffs, 32, Negabinary); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodePartial measures word-parallel partial decodes at several
+// prefix depths, reusing the destination so the steady-state path is
+// allocation-free.
+func BenchmarkDecodePartial(b *testing.B) {
+	coeffs := benchCoeffs(benchN)
+	enc, err := EncodeLevel(coeffs, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer enc.Release()
+	dst := make([]float64, benchN)
+	for _, depth := range []int{4, 8, 16, 32} {
+		b.Run(planeDepthName(depth), func(b *testing.B) {
+			b.SetBytes(benchN * 8)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				enc.DecodePartial(depth, dst)
+			}
+		})
+	}
+}
+
+// BenchmarkDecodePartialScalarRef measures the scalar reference decode at
+// the same prefix depths.
+func BenchmarkDecodePartialScalarRef(b *testing.B) {
+	coeffs := benchCoeffs(benchN)
+	enc, err := EncodeLevel(coeffs, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer enc.Release()
+	for _, depth := range []int{4, 8, 16, 32} {
+		b.Run(planeDepthName(depth), func(b *testing.B) {
+			b.SetBytes(benchN * 8)
+			for i := 0; i < b.N; i++ {
+				decodePartialScalar(enc, depth)
+			}
+		})
+	}
+}
+
+// BenchmarkErrMatrix isolates the error-matrix collection: the incremental
+// one-pass kernel vs the scalar per-prefix re-decode.
+func BenchmarkErrMatrix(b *testing.B) {
+	const planes = 32
+	coeffs := benchCoeffs(benchN)
+	enc, err := EncodeLevel(coeffs, planes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer enc.Release()
+	unit := enc.unitSize()
+	words := make([]uint64, benchN)
+	quantizeRange(coeffs, words, unit, 1<<(planes-2), planes, Negabinary, 0, benchN)
+	out := make([]float64, planes+1)
+
+	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			clear(out)
+			errMatrixRange(coeffs, words, unit, planes, Negabinary, 0, benchN, out)
+		}
+	})
+	// The scalar loop mirrors the original implementation exactly,
+	// including its per-element non-finite guards.
+	b.Run("scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for p := 0; p <= planes; p++ {
+				var mask uint64
+				if p > 0 {
+					mask = ((uint64(1) << uint(p)) - 1) << uint(planes-p)
+				}
+				maxErr := 0.0
+				for j, w := range words {
+					if c := coeffs[j]; math.IsNaN(c) || math.IsInf(c, 0) {
+						continue
+					}
+					dec := float64(decodeWord(w&mask, planes, Negabinary)) * unit
+					e := math.Abs(coeffs[j] - dec)
+					if math.IsInf(e, 0) {
+						e = math.MaxFloat64
+					}
+					if e > maxErr {
+						maxErr = e
+					}
+				}
+				out[p] = maxErr
+			}
+		}
+	})
+}
+
+func planeDepthName(b int) string {
+	return fmt.Sprintf("b=%d", b)
+}

@@ -11,12 +11,21 @@
 // Alongside the planes, the encoder collects the error matrix
 // Err[b] = max_i |c_i - decode_b(c_i)| for b = 0..B — the exact quantity
 // MGARD's error estimator consumes to decide how many planes to fetch.
+//
+// The plane slicing and reassembly run word-parallel: 64 coefficients move
+// through a 64×64 bit-matrix transpose per step instead of one bit test
+// per coefficient per plane, and the error matrix is collected in one
+// incremental pass (see kernels.go and DESIGN.md §10). Encodings draw
+// their buffers from shared pools; call Release on encodings you are done
+// with to make steady-state encoding allocation-free.
 package bitplane
 
 import (
 	"fmt"
 	"math"
+	"sync"
 
+	"pmgard/internal/bufpool"
 	"pmgard/internal/obs"
 	"pmgard/internal/pool"
 )
@@ -50,6 +59,12 @@ const (
 )
 
 // LevelEncoding is the bit-plane encoding of one coefficient level.
+//
+// Encodings returned by the EncodeLevel family draw Bits and ErrMatrix
+// from shared buffer pools: they are fully owned by the caller until
+// Release, after which the encoding and every slice it exposed must not be
+// touched again. Callers that retain ErrMatrix (or plane bytes) past the
+// encoding's life must copy them before releasing.
 type LevelEncoding struct {
 	// N is the number of coefficients on the level.
 	N int
@@ -67,6 +82,57 @@ type LevelEncoding struct {
 	ErrMatrix []float64
 	// Mode is the plane representation.
 	Mode Mode
+
+	// flat is the pooled backing array the Bits slices view; nil for
+	// encodings assembled directly from retrieved planes.
+	flat []byte
+	// pooled marks encodings produced by EncodeLevel*, the only ones
+	// Release recycles.
+	pooled bool
+}
+
+// encPool recycles LevelEncoding shells (the struct and its Bits header
+// slice); the plane and error-matrix backing arrays cycle through bufpool.
+var encPool = sync.Pool{New: func() any { return new(LevelEncoding) }}
+
+// newLevelEncoding assembles a pooled encoding shell with plane and
+// error-matrix buffers sized for (n, planes). Buffer contents are
+// undefined; every byte the encoder does not overwrite must be cleared.
+func newLevelEncoding(n, planes, planeBytes int, mode Mode) *LevelEncoding {
+	e := encPool.Get().(*LevelEncoding)
+	e.N, e.Planes, e.Mode, e.Exponent = n, planes, mode, 0
+	if cap(e.Bits) < planes {
+		e.Bits = make([][]byte, planes)
+	} else {
+		e.Bits = e.Bits[:planes]
+	}
+	e.flat = bufpool.Bytes(planes * planeBytes)
+	for k := 0; k < planes; k++ {
+		e.Bits[k] = e.flat[k*planeBytes : (k+1)*planeBytes : (k+1)*planeBytes]
+	}
+	e.ErrMatrix = bufpool.Float64s(planes + 1)
+	e.pooled = true
+	return e
+}
+
+// Release returns the encoding's buffers to the shared pools and recycles
+// the encoding itself. Only encodings produced by the EncodeLevel family
+// are recycled; on any other encoding (for example one assembled from
+// retrieved planes) Release is a no-op. After Release the encoding, its
+// Bits and its ErrMatrix must not be used.
+func (e *LevelEncoding) Release() {
+	if e == nil || !e.pooled {
+		return
+	}
+	bufpool.PutBytes(e.flat)
+	bufpool.PutFloat64s(e.ErrMatrix)
+	e.flat, e.ErrMatrix = nil, nil
+	for k := range e.Bits {
+		e.Bits[k] = nil
+	}
+	e.Bits = e.Bits[:0]
+	e.pooled = false
+	encPool.Put(e)
 }
 
 // EncodeLevel encodes coeffs into planes nega-binary bit-planes. planes
@@ -114,17 +180,8 @@ func encodeLevelMode(coeffs []float64, planes int, mode Mode, workers int, o *ob
 	}
 	workers = pool.Clamp(workers)
 	n := len(coeffs)
-	enc := &LevelEncoding{
-		N:         n,
-		Planes:    planes,
-		Bits:      make([][]byte, planes),
-		ErrMatrix: make([]float64, planes+1),
-		Mode:      mode,
-	}
 	planeBytes := (n + 7) / 8
-	for k := range enc.Bits {
-		enc.Bits[k] = make([]byte, planeBytes)
-	}
+	enc := newLevelEncoding(n, planes, planeBytes, mode)
 
 	maxAbs := 0.0
 	for _, c := range coeffs {
@@ -133,16 +190,19 @@ func encodeLevelMode(coeffs []float64, planes int, mode Mode, workers int, o *ob
 		}
 	}
 	if maxAbs == 0 || n == 0 {
-		// All-zero level (or only zeros and non-finite values): planes stay
-		// zero, errors stay zero. Exponent is arbitrary; use a sentinel
-		// that dequantizes to zero regardless.
+		// All-zero level (or only zeros and non-finite values): planes and
+		// errors are zero. Exponent is arbitrary; use a sentinel that
+		// dequantizes to zero regardless. Pooled buffers arrive dirty, so
+		// zero them explicitly.
 		enc.Exponent = math.MinInt16
+		clear(enc.flat)
+		clear(enc.ErrMatrix)
 		return enc, nil
 	}
 	// Smallest E with maxAbs ≤ 2^E, capped so dequantized values stay
 	// finite at the saturation limit.
 	enc.Exponent = int(math.Ceil(math.Log2(maxAbs)))
-	if math.Pow(2, float64(enc.Exponent)) < maxAbs {
+	if math.Ldexp(1, enc.Exponent) < maxAbs {
 		enc.Exponent++ // guard against log2 rounding
 	}
 	if enc.Exponent > 1023 {
@@ -158,6 +218,7 @@ func encodeLevelMode(coeffs []float64, planes int, mode Mode, workers int, o *ob
 		// plane can represent anything, so record the residual magnitude
 		// as the error of every prefix and keep the zero-sentinel planes.
 		enc.Exponent = math.MinInt16
+		clear(enc.flat)
 		for b := range enc.ErrMatrix {
 			enc.ErrMatrix[b] = maxAbs
 		}
@@ -165,80 +226,64 @@ func encodeLevelMode(coeffs []float64, planes int, mode Mode, workers int, o *ob
 	}
 
 	encodeM := pool.NewMetrics(o, "bitplane.encode")
-	words := make([]uint64, n)
-	pool.RunChunksMetrics(n, workers, encodeM, func(_, lo, hi int) error {
-		for i := lo; i < hi; i++ {
-			c := coeffs[i]
-			var q int64
-			switch {
-			case math.IsNaN(c):
-				q = 0
-			case math.IsInf(c, 1):
-				q = limit
-			case math.IsInf(c, -1):
-				q = -limit
-			default:
-				q = int64(math.Round(c / unit))
-				if q > limit {
-					q = limit
-				} else if q < -limit {
-					q = -limit
-				}
-			}
-			words[i] = encodeWord(q, planes, mode)
-		}
-		return nil
-	})
+	words := bufpool.Uint64s(n)
+	if workers == 1 && encodeM == nil {
+		quantizeRange(coeffs, words, unit, limit, planes, mode, 0, n)
+	} else {
+		pool.RunChunksMetrics(n, workers, encodeM, func(_, lo, hi int) error {
+			quantizeRange(coeffs, words, unit, limit, planes, mode, lo, hi)
+			return nil
+		})
+	}
 
 	// Slice into planes, MSB first (plane 0 is the sign plane in
-	// sign-magnitude mode). Chunking by plane byte keeps each worker's
-	// writes on disjoint bytes of every plane.
-	pool.RunChunksMetrics(planeBytes, workers, encodeM, func(_, lo, hi int) error {
-		for byteIx := lo; byteIx < hi; byteIx++ {
-			end := (byteIx + 1) * 8
-			if end > n {
-				end = n
-			}
-			for i := byteIx * 8; i < end; i++ {
-				w := words[i]
-				bitIx := uint(i & 7)
-				for k := 0; k < planes; k++ {
-					if w>>(uint(planes-1-k))&1 == 1 {
-						enc.Bits[k][byteIx] |= 1 << bitIx
-					}
+	// sign-magnitude mode), 64 coefficients per transpose step. Chunking
+	// by group keeps each worker's writes on disjoint bytes of every
+	// plane, and every plane byte is stored, so the pooled (dirty)
+	// backing needs no clearing.
+	groups := (n + 63) / 64
+	if workers == 1 && encodeM == nil {
+		sliceGroups(words, enc.Bits, planes, planeBytes, 0, groups)
+	} else {
+		pool.RunChunksMetrics(groups, workers, encodeM, func(_, lo, hi int) error {
+			sliceGroups(words, enc.Bits, planes, planeBytes, lo, hi)
+			return nil
+		})
+	}
+
+	// Collect the error matrix in one incremental pass per coefficient
+	// range: ErrMatrix[b] is the max over all ranges' partial maxima.
+	// Merging maxima is exact and order-independent, so the result is
+	// identical for every worker count.
+	errM := pool.NewMetrics(o, "bitplane.errmatrix")
+	if workers == 1 && errM == nil {
+		clear(enc.ErrMatrix)
+		errMatrixRange(coeffs, words, unit, planes, mode, 0, n, enc.ErrMatrix)
+	} else {
+		chunks := workers
+		if chunks > n {
+			chunks = n
+		}
+		stride := planes + 1
+		partial := bufpool.Float64s(chunks * stride)
+		clear(partial)
+		pool.RunMetrics(chunks, workers, errM, func(_, c int) error {
+			lo, hi := c*n/chunks, (c+1)*n/chunks
+			errMatrixRange(coeffs, words, unit, planes, mode, lo, hi, partial[c*stride:(c+1)*stride])
+			return nil
+		})
+		for b := 0; b <= planes; b++ {
+			m := 0.0
+			for c := 0; c < chunks; c++ {
+				if v := partial[c*stride+b]; v > m {
+					m = v
 				}
 			}
+			enc.ErrMatrix[b] = m
 		}
-		return nil
-	})
-
-	// Collect the error matrix: for each prefix length b, the max abs
-	// difference between the original coefficient and the value decoded
-	// from the first b planes. Each prefix length is one independent task.
-	pool.RunMetrics(planes+1, workers, pool.NewMetrics(o, "bitplane.errmatrix"), func(_, b int) error {
-		var mask uint64
-		if b > 0 {
-			mask = ((uint64(1) << uint(b)) - 1) << uint(planes-b)
-		}
-		maxErr := 0.0
-		for i, w := range words {
-			if c := coeffs[i]; math.IsNaN(c) || math.IsInf(c, 0) {
-				continue
-			}
-			dec := float64(decodeWord(w&mask, planes, mode)) * unit
-			e := math.Abs(coeffs[i] - dec)
-			if math.IsInf(e, 0) {
-				// A short nega-binary prefix of a near-MaxFloat64 level can
-				// dequantize past the float range; saturate the bound.
-				e = math.MaxFloat64
-			}
-			if e > maxErr {
-				maxErr = e
-			}
-		}
-		enc.ErrMatrix[b] = maxErr
-		return nil
-	})
+		bufpool.PutFloat64s(partial)
+	}
+	bufpool.PutUint64s(words)
 	return enc, nil
 }
 
@@ -286,14 +331,15 @@ func (e *LevelEncoding) unitSize() float64 {
 
 // DecodePartial reconstructs the level coefficients from the first b planes
 // into dst (allocated if nil) and returns it. b must be in [0, Planes].
+// With a caller-provided dst the decode is allocation-free.
 func (e *LevelEncoding) DecodePartial(b int, dst []float64) []float64 {
 	return e.DecodePartialWorkers(b, dst, 1)
 }
 
 // DecodePartialWorkers is DecodePartial fanned across at most `workers`
-// goroutines (≤ 0 means GOMAXPROCS). Each coefficient slot is reconstructed
-// independently from the same plane bytes, so the output is bit-identical
-// for every worker count.
+// goroutines (≤ 0 means GOMAXPROCS). Each coefficient group is
+// reconstructed independently from the same plane bytes, so the output is
+// bit-identical for every worker count.
 func (e *LevelEncoding) DecodePartialWorkers(b int, dst []float64, workers int) []float64 {
 	return e.decodePartial(b, dst, workers, nil)
 }
@@ -317,19 +363,23 @@ func (e *LevelEncoding) decodePartial(b int, dst []float64, workers int, o *obs.
 		}
 		return dst
 	}
-	pool.RunChunksMetrics(e.N, pool.Clamp(workers), pool.NewMetrics(o, "bitplane.decode"), func(_, lo, hi int) error {
-		for i := lo; i < hi; i++ {
-			byteIx, bitIx := i>>3, uint(i&7)
-			var w uint64
-			for k := 0; k < b; k++ {
-				if e.Bits[k][byteIx]>>bitIx&1 == 1 {
-					w |= 1 << uint(e.Planes-1-k)
-				}
-			}
-			dst[i] = float64(decodeWord(w, e.Planes, e.Mode)) * unit
-		}
-		return nil
-	})
+	decodeM := pool.NewMetrics(o, "bitplane.decode")
+	workers = pool.Clamp(workers)
+	groups := (e.N + 63) / 64
+	gather := gatherGroups
+	if b <= 8 {
+		// Shallow prefixes move through 8×8 tiles instead of the full
+		// 64-row transpose; both kernels recover the identical words.
+		gather = gatherGroupsSmall
+	}
+	if workers == 1 && decodeM == nil {
+		gather(e.Bits, dst, b, e.Planes, e.Mode, unit, 0, groups)
+	} else {
+		pool.RunChunksMetrics(groups, workers, decodeM, func(_, lo, hi int) error {
+			gather(e.Bits, dst, b, e.Planes, e.Mode, unit, lo, hi)
+			return nil
+		})
+	}
 	return dst
 }
 

@@ -1,0 +1,7 @@
+//go:build !race
+
+package bitplane
+
+// raceEnabled reports whether the race detector is active; allocation-count
+// guards skip under it because instrumented sync.Pool operations allocate.
+const raceEnabled = false

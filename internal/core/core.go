@@ -223,13 +223,15 @@ func Compress(t *grid.Tensor, cfg Config, fieldName string, timestep int) (*Comp
 			return nil, fmt.Errorf("core: encode level %d: %w", l, err)
 		}
 		lm := LevelMeta{
-			N:            enc.N,
-			Exponent:     enc.Exponent,
-			ErrMatrix:    enc.ErrMatrix,
+			N:        enc.N,
+			Exponent: enc.Exponent,
+			// The header outlives the pooled encoding, so it takes a copy.
+			ErrMatrix:    append([]float64(nil), enc.ErrMatrix...),
 			PlaneSizes:   make([]int64, cfg.Planes),
 			RawPlaneSize: enc.PlaneSizeRaw(),
 		}
 		segs, err := lossless.CompressSegmentsObs(cfg.Codec, enc.Bits, workers, o)
+		enc.Release()
 		if err != nil {
 			return nil, fmt.Errorf("core: compress level %d: %w", l, err)
 		}

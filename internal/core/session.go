@@ -44,6 +44,9 @@ type Session struct {
 	// bytes is the cumulative payload fetched, including payloads delivered
 	// by reads that later failed to decode.
 	bytes int64
+	// encScratch holds one reusable LevelEncoding shell per level, so
+	// reconstruct does not allocate encoding headers on every refinement.
+	encScratch []bitplane.LevelEncoding
 	// o records session telemetry when set via Instrument; nil disables it.
 	o *obs.Obs
 }
@@ -73,12 +76,13 @@ func NewSession(h *Header, src SegmentSource) (*Session, error) {
 		planes[l] = make([][]byte, h.Planes)
 	}
 	return &Session{
-		header:  h,
-		src:     src,
-		codec:   codec,
-		dec:     dec,
-		fetched: make([]int, len(h.Levels)),
-		planes:  planes,
+		header:     h,
+		src:        src,
+		codec:      codec,
+		dec:        dec,
+		fetched:    make([]int, len(h.Levels)),
+		planes:     planes,
+		encScratch: make([]bitplane.LevelEncoding, len(h.Levels)),
 	}, nil
 }
 
@@ -222,10 +226,19 @@ func (s *Session) fetchPlane(l, k int) ([]byte, int64, error) {
 		return s.fetchPlaneStore(l, k)
 	}
 	key := servecache.Key{Field: s.shareID, Level: l, Plane: k}
-	raw, payload, _, err := s.cache.GetOrFetch(key, func() ([]byte, int64, error) {
-		return s.fetchPlaneStore(l, k)
-	})
+	raw, payload, _, err := s.cache.GetOrFetchFrom(key, (*planeFetcher)(s))
 	return raw, payload, err
+}
+
+// planeFetcher adapts a Session to servecache.Source: a pointer conversion
+// instead of a per-call closure, which keeps the cache-hit fast path
+// allocation-free.
+type planeFetcher Session
+
+// FetchPlane implements servecache.Source by reading and decompressing the
+// keyed plane from the session's store.
+func (p *planeFetcher) FetchPlane(key servecache.Key) ([]byte, int64, error) {
+	return (*Session)(p).fetchPlaneStore(key.Level, key.Plane)
 }
 
 // fetchPlaneStore reads plane (l, k) from the store and decompresses it.
@@ -336,12 +349,8 @@ func (s *Session) Refine(est retrieval.ErrorEstimator, tol float64) (*grid.Tenso
 // must be held.
 func (s *Session) reconstruct() (*grid.Tensor, error) {
 	for l, lm := range s.header.Levels {
-		enc := &bitplane.LevelEncoding{
-			N:        lm.N,
-			Planes:   s.header.Planes,
-			Exponent: lm.Exponent,
-			Bits:     s.planes[l],
-		}
+		enc := &s.encScratch[l]
+		enc.N, enc.Planes, enc.Exponent, enc.Bits = lm.N, s.header.Planes, lm.Exponent, s.planes[l]
 		enc.DecodePartial(s.fetched[l], s.dec.Coeffs(l))
 	}
 	return s.dec.Recompose(), nil

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"math"
 
+	"pmgard/internal/bufpool"
 	"pmgard/internal/grid"
 	"pmgard/internal/interleave"
 	"pmgard/internal/pool"
@@ -310,7 +311,12 @@ func forEachLineWorkers(t *grid.Tensor, h, axis, workers int, fn func(base, stri
 		forEachLine(t, h, axis, fn)
 		return
 	}
-	var bases []int
+	// The base list is per-pass scratch; draw it from the shared pool so
+	// steady-state decomposition stops allocating it. Appends that outgrow
+	// the pooled backing reallocate once, and the grown array is what gets
+	// filed back, so repeated passes converge on a big-enough buffer.
+	bases := bufpool.Ints(64)[:0]
+	defer func() { bufpool.PutInts(bases) }()
 	stride, count := 0, 0
 	forEachLine(t, h, axis, func(base, s, c int) {
 		bases = append(bases, base)

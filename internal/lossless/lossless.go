@@ -14,6 +14,7 @@ import (
 	"io"
 	"sync"
 
+	"pmgard/internal/bufpool"
 	"pmgard/internal/pool"
 )
 
@@ -65,27 +66,64 @@ var flateWriters = sync.Pool{
 	},
 }
 
+// flateBuffers pools the compression staging buffers; the compressed bytes
+// are copied into an exact-size result so the (growing) buffer is reused
+// instead of escaping with every call.
+var flateBuffers = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 func (deflateCodec) Compress(src []byte) ([]byte, error) {
-	var buf bytes.Buffer
+	buf := flateBuffers.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer flateBuffers.Put(buf)
 	w := flateWriters.Get().(*flate.Writer)
 	defer flateWriters.Put(w)
-	w.Reset(&buf)
+	w.Reset(buf)
 	if _, err := w.Write(src); err != nil {
 		return nil, fmt.Errorf("lossless: deflate write: %w", err)
 	}
 	if err := w.Close(); err != nil {
 		return nil, fmt.Errorf("lossless: deflate close: %w", err)
 	}
-	return buf.Bytes(), nil
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out, nil
+}
+
+// flateReader bundles a pooled inflater with the bytes.Reader it drains, so
+// a decompression resets two reused objects instead of allocating the
+// inflater's decompression window per call.
+type flateReader struct {
+	src bytes.Reader
+	r   io.ReadCloser
+}
+
+// flateReaders pools inflaters: flate.NewReader allocates the sliding
+// window up front, and decompression runs over thousands of small plane
+// segments. The stdlib reader implements flate.Resetter, which the New
+// path relies on.
+var flateReaders = sync.Pool{
+	New: func() any {
+		fr := &flateReader{}
+		fr.r = flate.NewReader(&fr.src)
+		return fr
+	},
 }
 
 func (deflateCodec) Decompress(src []byte, size int) ([]byte, error) {
-	r := flate.NewReader(bytes.NewReader(src))
-	defer r.Close()
+	fr := flateReaders.Get().(*flateReader)
+	fr.src.Reset(src)
+	if err := fr.r.(flate.Resetter).Reset(&fr.src, nil); err != nil {
+		return nil, fmt.Errorf("lossless: deflate reset: %w", err)
+	}
+	defer func() {
+		fr.src.Reset(nil) // drop the segment reference before pooling
+		flateReaders.Put(fr)
+	}()
 	out := make([]byte, 0, size)
-	buf := make([]byte, 32*1024)
+	buf := bufpool.Bytes(32 * 1024)
+	defer bufpool.PutBytes(buf)
 	for {
-		n, err := r.Read(buf)
+		n, err := fr.r.Read(buf)
 		out = append(out, buf[:n]...)
 		if err == io.EOF {
 			break

@@ -68,14 +68,13 @@ func MatMul(a, b *Mat) *Mat {
 	}
 	out := NewMat(a.Rows, b.Cols)
 	// ikj loop order keeps the inner loop streaming over contiguous rows.
+	// Training batches are dense, so no zero-skip: the branch would be pure
+	// misprediction cost on the hot path.
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Row(i)
 		orow := out.Row(i)
 		for k := 0; k < a.Cols; k++ {
 			av := arow[k]
-			if av == 0 {
-				continue
-			}
 			brow := b.Row(k)
 			for j := range brow {
 				orow[j] += av * brow[j]
@@ -95,9 +94,6 @@ func MatMulATB(a, b *Mat) *Mat {
 		arow := a.Row(r)
 		brow := b.Row(r)
 		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
 			orow := out.Row(i)
 			for j, bv := range brow {
 				orow[j] += av * bv

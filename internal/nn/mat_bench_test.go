@@ -1,0 +1,42 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randMat fills a matrix with dense (no zeros) normal values, the shape of
+// a real training batch.
+func randMat(rng *rand.Rand, rows, cols int) *Mat {
+	m := NewMat(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() + 3 // keep away from zero
+	}
+	return m
+}
+
+// BenchmarkMatMul measures the dense a·b product on a training-shaped
+// batch (64×64 · 64×64). The inner loop carries no zero-skip branch: on
+// dense batches it was pure misprediction cost.
+func BenchmarkMatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randMat(rng, 64, 64)
+	y := randMat(rng, 64, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MatMul(x, y)
+	}
+}
+
+// BenchmarkMatMulATB measures the aᵀ·b product used by the backward pass.
+func BenchmarkMatMulATB(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := randMat(rng, 64, 64)
+	y := randMat(rng, 64, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MatMulATB(x, y)
+	}
+}

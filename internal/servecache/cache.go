@@ -47,6 +47,15 @@ type Key struct {
 // not decode), which sessions account as wasted.
 type Fetch func() (raw []byte, payload int64, err error)
 
+// Source materializes planes on cache misses, like Fetch but without a
+// per-call closure: a long-lived fetcher (for example a session's store
+// binding) implements FetchPlane once and the cache hit path stays
+// allocation-free. The same payload/error contract as Fetch applies.
+type Source interface {
+	// FetchPlane fetches and decompresses the plane identified by key.
+	FetchPlane(key Key) (raw []byte, payload int64, err error)
+}
+
 // entry is one cached plane: the decompressed bitset plus the compressed
 // payload size its fetch moved (replayed to every later hit so per-session
 // accounting matches the uncached path).
@@ -195,6 +204,19 @@ func (c *Cache) Instrument(o *obs.Obs) {
 //
 // The returned bitset is shared: callers must treat it as immutable.
 func (c *Cache) GetOrFetch(key Key, fetch Fetch) (raw []byte, payload int64, hit bool, err error) {
+	return c.getOrFetch(key, fetch, nil)
+}
+
+// GetOrFetchFrom is GetOrFetch with the miss path delegated to a
+// long-lived Source instead of a per-call closure, keeping steady-state
+// (hit-dominated) traffic allocation-free. Semantics are otherwise
+// identical to GetOrFetch, including singleflight coalescing.
+func (c *Cache) GetOrFetchFrom(key Key, src Source) (raw []byte, payload int64, hit bool, err error) {
+	return c.getOrFetch(key, nil, src)
+}
+
+// getOrFetch is the shared body; exactly one of fetch and src is non-nil.
+func (c *Cache) getOrFetch(key Key, fetch Fetch, src Source) (raw []byte, payload int64, hit bool, err error) {
 	start := time.Now()
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
@@ -217,7 +239,11 @@ func (c *Cache) GetOrFetch(key Key, fetch Fetch) (raw []byte, payload int64, hit
 	c.mu.Unlock()
 
 	c.c.misses.Add(1)
-	f.raw, f.payload, f.err = fetch()
+	if fetch != nil {
+		f.raw, f.payload, f.err = fetch()
+	} else {
+		f.raw, f.payload, f.err = src.FetchPlane(key)
+	}
 
 	c.mu.Lock()
 	delete(c.flights, key)

@@ -21,6 +21,7 @@ package pmgard
 import (
 	"context"
 
+	"pmgard/internal/bufpool"
 	"pmgard/internal/core"
 	"pmgard/internal/dataset"
 	"pmgard/internal/decompose"
@@ -205,6 +206,20 @@ type SharedSource = core.SharedSource
 func NewSharedSession(h *Header, ss SharedSource) (*Session, error) {
 	return core.NewSharedSession(h, ss)
 }
+
+// BufferPoolStats is a point-in-time view over the shared buffer-pool
+// counters (pooled-buffer hits, fresh allocations, returns) behind the
+// pipeline's zero-allocation hot paths.
+type BufferPoolStats = bufpool.Stats
+
+// BufferPoolSnapshot returns the current shared buffer-pool counters.
+func BufferPoolSnapshot() BufferPoolStats { return bufpool.Snapshot() }
+
+// InstrumentBufferPools rebinds the shared buffer-pool counters into o's
+// metrics registry under bufpool.*, so snapshots report pool behavior
+// alongside the rest of the pipeline telemetry. The pools are process-wide;
+// call once, before heavy traffic.
+func InstrumentBufferPools(o *Obs) { bufpool.Instrument(o) }
 
 // RetryPolicy bounds the retry loop of a RetryingSource.
 type RetryPolicy = storage.RetryPolicy
