@@ -9,6 +9,9 @@
 //
 //	serve -in jx.pmgd[,ex.pmgd...] [-tiered dir,...] [-addr localhost:8080]
 //	      [-cache-bytes 268435456] [-retries 8]
+//	      [-request-timeout 30s] [-drain-timeout 10s]
+//	      [-max-inflight 0] [-max-queue 0]
+//	      [-breaker-failures 5] [-breaker-cooldown 2s]
 //	      [-metrics-out metrics.json] [-trace-out trace.json] [-debug-addr addr]
 //
 // Endpoints:
@@ -16,9 +19,21 @@
 //	GET /fields                      — names of the served fields
 //	GET /open?field=Jx               — header summary of one field
 //	GET /refine?field=Jx&rel=1e-4    — refine to a tolerance (or abs=),
-//	                                   returns plan, bytes, checksum
+//	                                   returns plan, bytes, checksum; a
+//	                                   timeout= parameter caps the request
+//	                                   deadline below -request-timeout
 //	GET /metrics                     — live metrics snapshot JSON
-//	GET /healthz                     — liveness probe
+//	GET /healthz                     — liveness probe (process is up)
+//	GET /readyz                      — readiness probe (fields probed
+//	                                   readable at startup, not draining)
+//
+// The serving tier is hardened for production failure modes: every refine
+// carries a deadline that propagates through the session, cache singleflight
+// and storage retry loop; an admission controller bounds concurrent refines
+// and sheds overload with 503 + Retry-After; a per-field circuit breaker
+// fails fast when a field's store is persistently down; and SIGINT/SIGTERM
+// drain gracefully — readiness flips first, in-flight requests finish,
+// then handles close.
 //
 // The standard observability flags behave as in cmd/mgard: -metrics-out
 // and -trace-out write snapshots on shutdown (SIGINT/SIGTERM), -debug-addr
@@ -26,8 +41,10 @@
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"hash/crc32"
@@ -38,6 +55,8 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -45,6 +64,7 @@ import (
 	"pmgard/internal/core"
 	"pmgard/internal/grid"
 	"pmgard/internal/obs"
+	"pmgard/internal/resilience"
 	"pmgard/internal/servecache"
 	"pmgard/internal/storage"
 )
@@ -63,6 +83,12 @@ func run(args []string) error {
 	tiered := fs.String("tiered", "", "comma-separated tiered-store directories to serve")
 	cacheBytes := fs.Int64("cache-bytes", 256<<20, "shared plane-cache budget in decompressed bytes (0 = unbounded)")
 	retries := fs.Int("retries", 0, "wrap stores in the retry/backoff layer with this attempt cap (0 = no retry layer)")
+	requestTimeout := fs.Duration("request-timeout", 30*time.Second, "per-refine deadline propagated through fetch and retry (0 = none)")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "shutdown grace period for in-flight requests")
+	maxInflight := fs.Int("max-inflight", 0, "max concurrent refines before queueing (0 = unlimited)")
+	maxQueue := fs.Int("max-queue", 0, "max refines waiting for an inflight slot before shedding with 503")
+	breakerFailures := fs.Int("breaker-failures", 5, "consecutive store failures that open a field's circuit breaker (0 = no breaker)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 2*time.Second, "open-state cooldown before the breaker probes the store again")
 	var of obs.Flags
 	of.Register(fs)
 	fs.Parse(args)
@@ -80,9 +106,14 @@ func run(args []string) error {
 	}
 
 	srv, err := newServer(serverConfig{
-		CacheBytes: *cacheBytes,
-		Retries:    *retries,
-		Obs:        o,
+		CacheBytes:      *cacheBytes,
+		Retries:         *retries,
+		RequestTimeout:  *requestTimeout,
+		MaxInflight:     *maxInflight,
+		MaxQueue:        *maxQueue,
+		BreakerFailures: *breakerFailures,
+		BreakerCooldown: *breakerCooldown,
+		Obs:             o,
 	})
 	if err != nil {
 		return err
@@ -103,7 +134,7 @@ func run(args []string) error {
 	if err != nil {
 		return fmt.Errorf("listen %s: %w", *addr, err)
 	}
-	httpSrv := &http.Server{Handler: srv.mux()}
+	httpSrv := &http.Server{Handler: srv.handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 	fmt.Printf("serving %s on http://%s (cache budget %d bytes)\n",
@@ -115,10 +146,26 @@ func run(args []string) error {
 	case err := <-errCh:
 		return err
 	case s := <-sig:
-		fmt.Printf("received %v, shutting down\n", s)
+		fmt.Printf("received %v, draining\n", s)
 	}
-	httpSrv.Close()
+	drainAndShutdown(srv, httpSrv, *drainTimeout)
 	return of.Finish(o)
+}
+
+// drainAndShutdown performs the graceful exit sequence: readiness flips to
+// 503 first (load balancers stop routing new work), in-flight requests get
+// up to drainTimeout to finish via http.Server.Shutdown, and only then are
+// the store handles released.
+func drainAndShutdown(srv *server, httpSrv *http.Server, drainTimeout time.Duration) {
+	srv.beginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		// The grace period expired with requests still running; cut them off
+		// rather than hang shutdown forever.
+		httpSrv.Close()
+	}
+	srv.close()
 }
 
 func splitList(s string) []string {
@@ -131,12 +178,17 @@ func splitList(s string) []string {
 	return out
 }
 
-// fieldHandle is one served field: its header, the (possibly retry-wrapped)
-// segment source, and the handle to release on shutdown.
+// fieldHandle is one served field: its header, the (possibly retry- and
+// breaker-wrapped) segment source, and the handle to release on shutdown.
 type fieldHandle struct {
 	header *core.Header
 	src    core.SegmentSource
 	close  func() error
+	// breaker is the field's circuit breaker, nil when disabled.
+	breaker *resilience.Breaker
+	// probeErr is the startup readiness probe result: the error from
+	// reading the field's first segment when it was registered.
+	probeErr error
 }
 
 // serverConfig configures a server independently of flag parsing so tests
@@ -148,18 +200,41 @@ type serverConfig struct {
 	// with this attempt cap — below the cache, so retried fetches are
 	// deduplicated too.
 	Retries int
+	// RequestTimeout bounds each refine request (0 = unbounded). Clients
+	// may lower it per request with the timeout= query parameter but never
+	// raise it.
+	RequestTimeout time.Duration
+	// MaxInflight bounds concurrent refine executions (0 = unlimited).
+	MaxInflight int
+	// MaxQueue bounds refines waiting for an inflight slot; overflow is
+	// shed with 503 + Retry-After. Only meaningful with MaxInflight > 0.
+	MaxQueue int
+	// BreakerFailures is the consecutive-failure threshold that opens a
+	// field's circuit breaker (0 disables breakers).
+	BreakerFailures int
+	// BreakerCooldown is the open-state cooldown before half-open probing;
+	// 0 uses the resilience default.
+	BreakerCooldown time.Duration
 	// Obs receives the server's telemetry; must be non-nil.
 	Obs *obs.Obs
 }
 
-// server is the HTTP serving layer: a set of opened fields and the shared
-// plane cache every request session consults.
+// server is the HTTP serving layer: a set of opened fields, the shared
+// plane cache every request session consults, and the admission/drain
+// state that protects the tier under overload and shutdown.
 type server struct {
 	cfg    serverConfig
 	fields map[string]*fieldHandle
 	names  []string
 	cache  *servecache.Cache
+	adm    *resilience.Admission
 	o      *obs.Obs
+	// draining is set when shutdown begins: /readyz flips to 503 and new
+	// refines are rejected while in-flight ones finish.
+	draining atomic.Bool
+	// closeOnce guarantees store handles are released exactly once even if
+	// close is reached from both the drain path and a deferred cleanup.
+	closeOnce sync.Once
 }
 
 func newServer(cfg serverConfig) (*server, error) {
@@ -169,16 +244,21 @@ func newServer(cfg serverConfig) (*server, error) {
 	cache := servecache.New(cfg.CacheBytes)
 	cache.Instrument(cfg.Obs)
 	bufpool.Instrument(cfg.Obs)
+	adm := resilience.NewAdmission(cfg.MaxInflight, cfg.MaxQueue)
+	adm.Instrument(cfg.Obs, "serve")
 	return &server{
 		cfg:    cfg,
 		fields: make(map[string]*fieldHandle),
 		cache:  cache,
+		adm:    adm,
 		o:      cfg.Obs,
 	}, nil
 }
 
 // add registers an opened field under its header's field name, layering the
-// retry source when configured.
+// resilience stack: retries closest to the store, the circuit breaker above
+// them (one tier outage costs one breaker failure, not one per attempt),
+// and probing the first segment for the readiness report.
 func (s *server) add(h *core.Header, src core.SegmentSource, closeFn func() error) error {
 	if _, ok := s.fields[h.FieldName]; ok {
 		return fmt.Errorf("duplicate field %q", h.FieldName)
@@ -190,7 +270,20 @@ func (s *server) add(h *core.Header, src core.SegmentSource, closeFn func() erro
 		retrying.Instrument(s.o)
 		src = retrying
 	}
-	s.fields[h.FieldName] = &fieldHandle{header: h, src: src, close: closeFn}
+	fh := &fieldHandle{header: h, close: closeFn}
+	if s.cfg.BreakerFailures > 0 {
+		fh.breaker = resilience.NewBreaker(resilience.BreakerConfig{
+			FailureThreshold: s.cfg.BreakerFailures,
+			Cooldown:         s.cfg.BreakerCooldown,
+		})
+		fh.breaker.Instrument(s.o, h.FieldName)
+		src = resilience.BreakerSource{Src: src, Breaker: fh.breaker}
+	}
+	fh.src = src
+	if h.Planes > 0 && len(h.Levels) > 0 {
+		_, fh.probeErr = src.Segment(0, 0)
+	}
+	s.fields[h.FieldName] = fh
 	s.names = append(s.names, h.FieldName)
 	return nil
 }
@@ -212,12 +305,26 @@ func (s *server) addTiered(dir string) error {
 	return s.add(h, core.TieredSource{Store: st}, st.Close)
 }
 
+// beginDrain flips the server into draining mode: /readyz answers 503 and
+// new refine requests are rejected so a load balancer stops routing here
+// while in-flight work completes.
+func (s *server) beginDrain() {
+	s.draining.Store(true)
+}
+
 func (s *server) close() {
-	for _, fh := range s.fields {
-		if fh.close != nil {
-			fh.close()
+	s.closeOnce.Do(func() {
+		for _, fh := range s.fields {
+			if fh.close != nil {
+				fh.close()
+			}
 		}
-	}
+	})
+}
+
+// handler returns the full middleware-wrapped API handler.
+func (s *server) handler() http.Handler {
+	return s.withRecovery(s.mux())
 }
 
 // mux returns the API routes.
@@ -230,7 +337,45 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/readyz", s.handleReady)
 	return mux
+}
+
+// withRecovery converts a handler panic into a 500 plus a serve.panics
+// count instead of killing the connection silently; http.ErrAbortHandler
+// is re-raised because it is the sanctioned way to abort a response.
+func (s *server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					panic(rec)
+				}
+				s.o.Counter("serve.panics").Add(1)
+				s.fail(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", rec))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// handleReady is the readiness probe: 200 only when every field's first
+// segment was readable when it was registered and the server is not
+// draining. Distinct from /healthz, which only says the process is alive —
+// a load balancer should route on /readyz and page on /healthz.
+func (s *server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		s.failDetail(w, http.StatusServiceUnavailable, fmt.Errorf("draining"), "draining")
+		return
+	}
+	for _, name := range s.names {
+		if err := s.fields[name].probeErr; err != nil {
+			s.failDetail(w, http.StatusServiceUnavailable,
+				fmt.Errorf("field %q failed startup read probe: %v", name, err), "probe_failed")
+			return
+		}
+	}
+	fmt.Fprintln(w, "ready")
 }
 
 // lookup resolves the field query parameter; with a single served field the
@@ -253,14 +398,46 @@ func (s *server) lookup(r *http.Request) (*fieldHandle, string, error) {
 
 func (s *server) writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		// The response is already partially written, so no status rewrite is
+		// possible — count and log the failure instead of dropping it.
+		s.o.Counter("serve.errors").Add(1)
+		fmt.Fprintf(os.Stderr, "serve: encode response: %v\n", err)
+	}
+}
+
+// errorResponse is the JSON error body: machine-readable status and a
+// detail tag ("deadline", "shed", "breaker_open", "upstream", ...) so
+// clients can branch on the failure mode without parsing prose.
+type errorResponse struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+	Detail string `json:"detail,omitempty"`
 }
 
 func (s *server) fail(w http.ResponseWriter, code int, err error) {
+	s.failDetail(w, code, err, "")
+}
+
+// failDetail writes a JSON error body with the given status and detail tag.
+// 503s carry Retry-After so well-behaved clients back off instead of
+// hammering an overloaded or draining server.
+func (s *server) failDetail(w http.ResponseWriter, code int, err error, detail string) {
 	s.o.Counter("serve.errors").Add(1)
-	http.Error(w, err.Error(), code)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	if code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if eerr := enc.Encode(errorResponse{Error: err.Error(), Status: code, Detail: detail}); eerr != nil {
+		fmt.Fprintf(os.Stderr, "serve: encode error response: %v\n", eerr)
+	}
 }
 
 func (s *server) handleFields(w http.ResponseWriter, _ *http.Request) {
@@ -315,8 +492,16 @@ type refineResponse struct {
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 }
 
+// statusClientClosedRequest is the nginx-convention status for a request
+// whose client went away before the response was ready.
+const statusClientClosedRequest = 499
+
 func (s *server) handleRefine(w http.ResponseWriter, r *http.Request) {
 	s.o.Counter("serve.requests").Add(1)
+	if s.draining.Load() {
+		s.failDetail(w, http.StatusServiceUnavailable, fmt.Errorf("server is draining"), "draining")
+		return
+	}
 	fh, _, err := s.lookup(r)
 	if err != nil {
 		s.fail(w, http.StatusNotFound, err)
@@ -328,6 +513,24 @@ func (s *server) handleRefine(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
+	timeout, err := requestDeadline(r, s.cfg.RequestTimeout)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx := r.Context()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	release, err := s.adm.Acquire(ctx)
+	if err != nil {
+		s.failRefine(w, err)
+		return
+	}
+	defer release()
+
 	start := time.Now()
 	sess, err := core.NewSharedSession(h, core.SharedSource{Src: fh.src, Cache: s.cache})
 	if err != nil {
@@ -335,9 +538,9 @@ func (s *server) handleRefine(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess.Instrument(s.o)
-	rec, plan, deg, err := sess.Refine(h.TheoryEstimator(), tol)
+	rec, plan, deg, err := sess.RefineCtx(ctx, h.TheoryEstimator(), tol)
 	if err != nil {
-		s.fail(w, http.StatusBadGateway, fmt.Errorf("refine: %w", err))
+		s.failRefine(w, fmt.Errorf("refine: %w", err))
 		return
 	}
 	elapsed := time.Since(start).Seconds()
@@ -353,6 +556,43 @@ func (s *server) handleRefine(w http.ResponseWriter, r *http.Request) {
 		Checksum:       tensorChecksum(rec),
 		ElapsedSeconds: elapsed,
 	})
+}
+
+// failRefine maps a refine failure to its transport meaning: the request's
+// own deadline expiring is a 504, overload shedding and an open breaker are
+// retryable 503s, a client disconnect is 499, and only genuine upstream
+// store faults surface as 502.
+func (s *server) failRefine(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.failDetail(w, http.StatusGatewayTimeout, err, "deadline")
+	case errors.Is(err, resilience.ErrShed):
+		s.failDetail(w, http.StatusServiceUnavailable, err, "shed")
+	case errors.Is(err, resilience.ErrOpen):
+		s.failDetail(w, http.StatusServiceUnavailable, err, "breaker_open")
+	case errors.Is(err, context.Canceled):
+		s.failDetail(w, statusClientClosedRequest, err, "client_gone")
+	default:
+		s.failDetail(w, http.StatusBadGateway, err, "upstream")
+	}
+}
+
+// requestDeadline resolves the effective refine deadline: the server's
+// -request-timeout, capped lower (never raised) by a timeout= query
+// parameter in Go duration syntax.
+func requestDeadline(r *http.Request, serverTimeout time.Duration) (time.Duration, error) {
+	v := r.URL.Query().Get("timeout")
+	if v == "" {
+		return serverTimeout, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil || d <= 0 {
+		return 0, fmt.Errorf("bad timeout %q (want a positive Go duration like 500ms)", v)
+	}
+	if serverTimeout > 0 && d > serverTimeout {
+		return serverTimeout, nil
+	}
+	return d, nil
 }
 
 func parseTolerance(r *http.Request, h *core.Header) (float64, error) {

@@ -64,7 +64,7 @@ func getJSON(t *testing.T, ts *httptest.Server, path string, v any) {
 
 func TestServeOpenAndFields(t *testing.T) {
 	srv, _ := newTestServer(t)
-	ts := httptest.NewServer(srv.mux())
+	ts := httptest.NewServer(srv.handler())
 	defer ts.Close()
 
 	var fields struct {
@@ -94,7 +94,7 @@ func TestServeOpenAndFields(t *testing.T) {
 // bit and the second wave must be served from the shared cache.
 func TestServeConcurrentRefinesShareCache(t *testing.T) {
 	srv, o := newTestServer(t)
-	ts := httptest.NewServer(srv.mux())
+	ts := httptest.NewServer(srv.handler())
 	defer ts.Close()
 
 	const n = 4
@@ -156,7 +156,7 @@ func TestServeConcurrentRefinesShareCache(t *testing.T) {
 
 func TestServeErrors(t *testing.T) {
 	srv, o := newTestServer(t)
-	ts := httptest.NewServer(srv.mux())
+	ts := httptest.NewServer(srv.handler())
 	defer ts.Close()
 
 	for _, path := range []string{

@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"runtime"
@@ -260,6 +261,33 @@ type SegmentSource interface {
 	Segment(level, plane int) ([]byte, error)
 }
 
+// ContextSource is a SegmentSource whose reads honor cancellation. Sources
+// backed by blocking or retrying I/O (storage.RetryingSource, remote tiers)
+// implement it so a caller's deadline propagates into the read instead of
+// abandoning a goroutine inside it; purely in-memory sources implement it as
+// a cancellation check plus the plain read.
+type ContextSource interface {
+	SegmentSource
+	// SegmentCtx is Segment bounded by ctx: it returns early with ctx's
+	// error once ctx ends.
+	SegmentCtx(ctx context.Context, level, plane int) ([]byte, error)
+}
+
+// readSegment reads one segment from src, routing through the source's
+// context-aware read when it has one and ctx is cancellable. A
+// non-cancellable ctx takes exactly the plain Segment path.
+func readSegment(ctx context.Context, src SegmentSource, level, plane int) ([]byte, error) {
+	if ctx.Done() != nil {
+		if cs, ok := src.(ContextSource); ok {
+			return cs.SegmentCtx(ctx, level, plane)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return src.Segment(level, plane)
+}
+
 // Segment implements SegmentSource for in-memory compressed data.
 func (c *Compressed) Segment(level, plane int) ([]byte, error) {
 	if level < 0 || level >= len(c.segments) {
@@ -269,6 +297,15 @@ func (c *Compressed) Segment(level, plane int) ([]byte, error) {
 		return nil, fmt.Errorf("core: plane %d out of range on level %d", plane, level)
 	}
 	return c.segments[level][plane], nil
+}
+
+// SegmentCtx implements ContextSource; the in-memory read is instantaneous,
+// so this is a cancellation check plus Segment.
+func (c *Compressed) SegmentCtx(ctx context.Context, level, plane int) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return c.Segment(level, plane)
 }
 
 // WriteFile persists the compressed field as a segment-store file.
@@ -303,6 +340,15 @@ func (s StoreSource) Segment(level, plane int) ([]byte, error) {
 	return s.Store.ReadSegment(storage.SegmentID{Level: level, Plane: plane})
 }
 
+// SegmentCtx implements ContextSource. Local file reads cannot be
+// interrupted mid-syscall, so cancellation is checked at read entry.
+func (s StoreSource) SegmentCtx(ctx context.Context, level, plane int) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.Segment(level, plane)
+}
+
 // OpenFile opens a compressed field file and parses its header.
 func OpenFile(path string) (*Header, *storage.Store, error) {
 	st, err := storage.Open(path)
@@ -333,7 +379,7 @@ type planeJob struct{ level, plane int }
 // lowest (level, plane) in fetch order is returned, so behavior is
 // identical for every worker count.
 func fetchLevels(h *Header, src SegmentSource, plan retrieval.Plan, dec *decompose.Decomposition, upTo, workers int) error {
-	return fetchLevelsObs(h, src, plan, dec, upTo, workers, nil)
+	return fetchLevelsCtx(context.Background(), h, src, plan, dec, upTo, workers, nil)
 }
 
 // fetchLevelsObs is fetchLevels with telemetry recorded into o: a
@@ -342,6 +388,14 @@ func fetchLevels(h *Header, src SegmentSource, plan retrieval.Plan, dec *decompo
 // .planes counters (plus totals), and pool task metrics under
 // pool.fetch.*. A nil o is exactly fetchLevels.
 func fetchLevelsObs(h *Header, src SegmentSource, plan retrieval.Plan, dec *decompose.Decomposition, upTo, workers int, o *obs.Obs) error {
+	return fetchLevelsCtx(context.Background(), h, src, plan, dec, upTo, workers, o)
+}
+
+// fetchLevelsCtx is fetchLevelsObs bounded by ctx: once ctx ends, no new
+// plane fetch is dispatched and in-flight reads are cancelled through the
+// source's ContextSource hook when it has one. A non-cancellable ctx is
+// exactly fetchLevelsObs.
+func fetchLevelsCtx(ctx context.Context, h *Header, src SegmentSource, plan retrieval.Plan, dec *decompose.Decomposition, upTo, workers int, o *obs.Obs) error {
 	codec, err := lossless.ByName(h.CodecName)
 	if err != nil {
 		return err
@@ -380,10 +434,10 @@ func fetchLevelsObs(h *Header, src SegmentSource, plan retrieval.Plan, dec *deco
 	}
 	fetchSpan := o.Span("storage.fetch", nil)
 	fetchSpan.SetAttr("jobs", len(jobs))
-	err = pool.RunMetrics(len(jobs), workers, pool.NewMetrics(o, "fetch"), func(_, i int) error {
+	err = pool.RunMetricsCtx(ctx, len(jobs), workers, pool.NewMetrics(o, "fetch"), func(_, i int) error {
 		j := jobs[i]
 		read := o.Span("storage.read", fetchSpan)
-		seg, err := src.Segment(j.level, j.plane)
+		seg, err := readSegment(ctx, src, j.level, j.plane)
 		read.SetAttr("level", j.level)
 		read.SetAttr("plane", j.plane)
 		read.End()
@@ -429,6 +483,19 @@ func RetrieveWorkers(h *Header, src SegmentSource, plan retrieval.Plan, workers 
 // recomposition, per-level core.fetch.* counters and pool.fetch.* task
 // metrics. A nil o is exactly RetrieveWorkers.
 func RetrieveWorkersObs(h *Header, src SegmentSource, plan retrieval.Plan, workers int, o *obs.Obs) (*grid.Tensor, error) {
+	return RetrieveWorkersCtx(context.Background(), h, src, plan, workers, o)
+}
+
+// RetrieveCtx is Retrieve bounded by ctx: once ctx ends, no further plane is
+// fetched and the retrieval returns ctx's error. Planes already decoded are
+// discarded — for resumable cancellation use a Session with RefineCtx.
+func RetrieveCtx(ctx context.Context, h *Header, src SegmentSource, plan retrieval.Plan) (*grid.Tensor, error) {
+	return RetrieveWorkersCtx(ctx, h, src, plan, 0, nil)
+}
+
+// RetrieveWorkersCtx is RetrieveWorkersObs bounded by ctx. A ctx that
+// cannot be cancelled is exactly RetrieveWorkersObs.
+func RetrieveWorkersCtx(ctx context.Context, h *Header, src SegmentSource, plan retrieval.Plan, workers int, o *obs.Obs) (*grid.Tensor, error) {
 	if len(plan.Planes) != len(h.Levels) {
 		return nil, fmt.Errorf("core: plan has %d levels, header %d", len(plan.Planes), len(h.Levels))
 	}
@@ -440,7 +507,7 @@ func RetrieveWorkersObs(h *Header, src SegmentSource, plan retrieval.Plan, worke
 	if err != nil {
 		return nil, err
 	}
-	if err := fetchLevelsObs(h, src, plan, dec, len(h.Levels)-1, workers, o); err != nil {
+	if err := fetchLevelsCtx(ctx, h, src, plan, dec, len(h.Levels)-1, workers, o); err != nil {
 		return nil, err
 	}
 	return dec.RecomposeObs(o), nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -168,6 +169,15 @@ type Degradation struct {
 // is retained and accounted, so a later RefineTo resumes from exactly
 // where the failure struck.
 func (s *Session) RefineTo(target []int) (*grid.Tensor, error) {
+	return s.RefineToCtx(context.Background(), target)
+}
+
+// RefineToCtx is RefineTo bounded by ctx. Cancellation aborts the
+// refinement with ctx's error, but the session stays consistent and
+// resumable: every plane fetched before cancellation is retained and
+// accounted, so a later refinement pays only for the remainder. A ctx that
+// cannot be cancelled is exactly RefineTo.
+func (s *Session) RefineToCtx(ctx context.Context, target []int) (*grid.Tensor, error) {
 	if len(target) != len(s.header.Levels) {
 		return nil, fmt.Errorf("core: session target has %d levels, header %d", len(target), len(s.header.Levels))
 	}
@@ -181,7 +191,7 @@ func (s *Session) RefineTo(target []int) (*grid.Tensor, error) {
 	sp := s.o.Span("session.refine_to", nil)
 	defer sp.End()
 	for l, want := range target {
-		if err := s.fetchLevel(l, want); err != nil {
+		if err := s.fetchLevel(ctx, l, want); err != nil {
 			return nil, err
 		}
 	}
@@ -196,9 +206,9 @@ func (s *Session) RefineTo(target []int) (*grid.Tensor, error) {
 // delivered: a segment that arrives but fails to decompress (corruption,
 // truncation), or a partial payload returned alongside an error, moved real
 // bytes off the store even though the plane was never decoded.
-func (s *Session) fetchLevel(l, want int) error {
+func (s *Session) fetchLevel(ctx context.Context, l, want int) error {
 	for k := s.fetched[l]; k < want; k++ {
-		raw, payload, err := s.fetchPlane(l, k)
+		raw, payload, err := s.fetchPlane(ctx, l, k)
 		if err != nil {
 			s.bytes += payload
 			s.o.Counter("core.session.bytes_wasted").Add(payload)
@@ -221,12 +231,16 @@ func (s *Session) fetchLevel(l, want int) error {
 // when the session has one. It returns the plane bitset and the compressed
 // payload bytes the plane's fetch moved; on error the payload is the bytes
 // a failed transfer still delivered (counted as wasted by the caller).
-func (s *Session) fetchPlane(l, k int) ([]byte, int64, error) {
+func (s *Session) fetchPlane(ctx context.Context, l, k int) ([]byte, int64, error) {
 	if s.cache == nil {
-		return s.fetchPlaneStore(l, k)
+		return s.fetchPlaneStore(ctx, l, k)
 	}
 	key := servecache.Key{Field: s.shareID, Level: l, Plane: k}
-	raw, payload, _, err := s.cache.GetOrFetchFrom(key, (*planeFetcher)(s))
+	if ctx.Done() == nil {
+		raw, payload, _, err := s.cache.GetOrFetchFrom(key, (*planeFetcher)(s))
+		return raw, payload, err
+	}
+	raw, payload, _, err := s.cache.GetOrFetchFromCtx(ctx, key, (*planeFetcher)(s))
 	return raw, payload, err
 }
 
@@ -238,7 +252,13 @@ type planeFetcher Session
 // FetchPlane implements servecache.Source by reading and decompressing the
 // keyed plane from the session's store.
 func (p *planeFetcher) FetchPlane(key servecache.Key) ([]byte, int64, error) {
-	return (*Session)(p).fetchPlaneStore(key.Level, key.Plane)
+	return (*Session)(p).fetchPlaneStore(context.Background(), key.Level, key.Plane)
+}
+
+// FetchPlaneCtx implements servecache.SourceCtx; ctx is the cache's flight
+// context, alive as long as any waiter still wants the plane.
+func (p *planeFetcher) FetchPlaneCtx(ctx context.Context, key servecache.Key) ([]byte, int64, error) {
+	return (*Session)(p).fetchPlaneStore(ctx, key.Level, key.Plane)
 }
 
 // fetchPlaneStore reads plane (l, k) from the store and decompresses it.
@@ -247,8 +267,8 @@ func (p *planeFetcher) FetchPlane(key servecache.Key) ([]byte, int64, error) {
 // tier did not detect, a mislabeled object) is data corruption, not a
 // plausible plane, and accepting it would silently desynchronize
 // BytesFetched from the manifest-derived plan costs.
-func (s *Session) fetchPlaneStore(l, k int) ([]byte, int64, error) {
-	seg, err := s.src.Segment(l, k)
+func (s *Session) fetchPlaneStore(ctx context.Context, l, k int) ([]byte, int64, error) {
+	seg, err := readSegment(ctx, s.src, l, k)
 	if err != nil {
 		return nil, int64(len(seg)), err
 	}
@@ -277,6 +297,15 @@ func (s *Session) fetchPlaneStore(l, k int) ([]byte, int64, error) {
 // a storage.RetryingSource) still abort with an error, with the session
 // state left consistent for a later retry.
 func (s *Session) Refine(est retrieval.ErrorEstimator, tol float64) (*grid.Tensor, retrieval.Plan, *Degradation, error) {
+	return s.RefineCtx(context.Background(), est, tol)
+}
+
+// RefineCtx is Refine bounded by ctx. Cancellation — the caller's deadline
+// expiring, the client disconnecting — aborts with ctx's error (it never
+// degrades: only permanent data loss does), and the session remains
+// consistent and resumable exactly as under a transient fetch failure. A
+// ctx that cannot be cancelled is exactly Refine.
+func (s *Session) RefineCtx(ctx context.Context, est retrieval.ErrorEstimator, tol float64) (*grid.Tensor, retrieval.Plan, *Degradation, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sp := s.o.Span("session.refine", nil)
@@ -295,7 +324,7 @@ func (s *Session) Refine(est retrieval.ErrorEstimator, tol float64) (*grid.Tenso
 	requested := append([]int(nil), target...)
 	var dropped []storage.SegmentID
 	for l, want := range target {
-		if err := s.fetchLevel(l, want); err != nil {
+		if err := s.fetchLevel(ctx, l, want); err != nil {
 			if storage.Classify(err) != storage.FaultPermanent {
 				return nil, retrieval.Plan{}, nil, err
 			}

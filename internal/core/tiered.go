@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 
@@ -58,4 +59,13 @@ type TieredSource struct {
 // Segment implements SegmentSource.
 func (s TieredSource) Segment(level, plane int) ([]byte, error) {
 	return s.Store.ReadSegment(storage.SegmentID{Level: level, Plane: plane})
+}
+
+// SegmentCtx implements ContextSource. Tier reads are local file I/O that
+// cannot be interrupted mid-syscall, so cancellation is checked at entry.
+func (s TieredSource) SegmentCtx(ctx context.Context, level, plane int) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.Segment(level, plane)
 }

@@ -1,0 +1,54 @@
+// Package leakcheck is a dependency-free goroutine-leak assertion for
+// tests: capture a baseline count before the work under test, then verify
+// the count settles back to it afterwards. Settling is polled with a
+// deadline because goroutine teardown is asynchronous — an exiting worker
+// is still counted for a moment after its job is done.
+//
+// The check is count-based, not identity-based, so it cannot attribute a
+// leak to a specific goroutine; on failure it dumps all stacks, which in
+// practice pinpoints the leaked one immediately. Tests that share process
+// state (http clients with idle connections, timers) should close those
+// before the check runs.
+package leakcheck
+
+import (
+	"runtime"
+	"time"
+)
+
+// TB is the subset of testing.TB the checker needs, restated so this
+// package does not import testing into non-test builds.
+type TB interface {
+	// Helper marks the calling function as a test helper.
+	Helper()
+	// Errorf records a test failure.
+	Errorf(format string, args ...any)
+}
+
+// Baseline returns the current goroutine count. Capture it before starting
+// the work under test.
+func Baseline() int {
+	return runtime.NumGoroutine()
+}
+
+// Check polls until the goroutine count is back at or below baseline, or
+// within seconds of waiting fail the test with a full stack dump. A zero
+// or negative timeout uses 5 seconds.
+func Check(t TB, baseline int, timeout time.Duration) {
+	t.Helper()
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	n := runtime.NumGoroutine()
+	for time.Now().Before(deadline) {
+		if n <= baseline {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	t.Errorf("goroutine leak: %d alive after %v, baseline %d\n%s", n, timeout, baseline, buf)
+}

@@ -1,7 +1,9 @@
 package pool
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"pmgard/internal/obs"
@@ -92,6 +94,40 @@ func RunMetrics(n, workers int, m *Metrics, fn func(worker, i int) error) error 
 		m.Completed.Add(1)
 		return err
 	})
+}
+
+// RunMetricsCtx is RunCtx with RunMetrics' telemetry. Tasks skipped because
+// ctx ended are drained from the queue-depth gauge when the fan-out
+// returns, so a cancelled run never leaves the gauge stuck above zero. A
+// nil m is exactly RunCtx.
+func RunMetricsCtx(ctx context.Context, n, workers int, m *Metrics, fn func(worker, i int) error) error {
+	if m == nil {
+		return RunCtx(ctx, n, workers, fn)
+	}
+	if n > 0 {
+		m.Submitted.Add(int64(n))
+		m.QueueDepth.Add(float64(n))
+	}
+	var started atomic.Int64
+	entry := time.Now()
+	err := RunCtx(ctx, n, workers, func(worker, i int) error {
+		start := time.Now()
+		started.Add(1)
+		m.QueueDepth.Add(-1)
+		m.Wait.Observe(start.Sub(entry).Seconds())
+		ferr := fn(worker, i)
+		dur := time.Since(start).Seconds()
+		m.Task.Observe(dur)
+		tasks, busy := m.worker(worker)
+		tasks.Add(1)
+		busy.Add(dur)
+		m.Completed.Add(1)
+		return ferr
+	})
+	if skipped := int64(n) - started.Load(); skipped > 0 {
+		m.QueueDepth.Add(-float64(skipped))
+	}
+	return err
 }
 
 // RunChunksMetrics is RunChunks with the same telemetry as RunMetrics;

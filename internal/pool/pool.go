@@ -16,6 +16,7 @@
 package pool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -89,6 +90,91 @@ func Run(n, workers int, fn func(worker, i int) error) error {
 	}
 	wg.Wait()
 	return lowErr
+}
+
+// RunCtx is Run with cooperative cancellation: once ctx ends, no new index
+// is dispatched — indices already running complete, so slots are never left
+// half-written. Cancellation relaxes Run's every-index guarantee by design
+// (stopping early is the point); determinism of what *did* run is
+// preserved, and a fn error from the lowest index still takes precedence
+// over ctx's error in the return value. A ctx that cannot be cancelled
+// (ctx.Done() == nil, e.g. context.Background()) is exactly Run.
+func RunCtx(ctx context.Context, n, workers int, fn func(worker, i int) error) error {
+	if ctx.Done() == nil {
+		return Run(n, workers, fn)
+	}
+	if n <= 0 {
+		return nil
+	}
+	workers = Clamp(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		var firstErr error
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				break
+			}
+			if err := fn(0, i); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	var (
+		mu        sync.Mutex
+		errIdx    = -1
+		lowErr    error
+		next      int
+		completed int
+		wg        sync.WaitGroup
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if errIdx == -1 || i < errIdx {
+			errIdx, lowErr = i, err
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				if err := fn(worker, i); err != nil {
+					record(i, err)
+				}
+				mu.Lock()
+				completed++
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if lowErr != nil {
+		return lowErr
+	}
+	if completed < n {
+		// Only cancellation stops dispatch early, so an incomplete fan-out
+		// without a fn error reports ctx's error; a cancellation that lands
+		// after every index already ran is not an error.
+		return ctx.Err()
+	}
+	return nil
 }
 
 // RunChunks splits [0, n) into at most `workers` contiguous chunks and

@@ -1,11 +1,14 @@
 package pool
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync/atomic"
 	"testing"
+
+	"pmgard/internal/obs"
 )
 
 func TestClamp(t *testing.T) {
@@ -141,5 +144,91 @@ func TestRunDeterministicSlots(t *testing.T) {
 				t.Fatalf("workers=%d: slot %d differs", workers, i)
 			}
 		}
+	}
+}
+
+func TestRunCtxBackgroundMatchesRun(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		n := 64
+		got := make([]int, n)
+		if err := RunCtx(context.Background(), n, workers, func(_, i int) error {
+			got[i] = i + 1
+			return nil
+		}); err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i+1 {
+				t.Fatalf("workers %d: index %d not executed", workers, i)
+			}
+		}
+	}
+}
+
+func TestRunCtxLowestErrorWinsOverCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errBoom := errors.New("boom")
+	err := RunCtx(ctx, 8, 4, func(_, i int) error {
+		if i == 2 {
+			cancel()
+			return errBoom
+		}
+		return nil
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want the index error, not the cancellation", err)
+	}
+}
+
+func TestRunCtxStopsDispatchOnCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		const n = 1 << 20
+		err := RunCtx(ctx, n, workers, func(_, i int) error {
+			if ran.Add(1) == 8 {
+				cancel()
+			}
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers %d: err = %v, want context.Canceled", workers, err)
+		}
+		if got := ran.Load(); got >= n {
+			t.Fatalf("workers %d: cancellation did not stop dispatch (%d ran)", workers, got)
+		}
+		cancel()
+	}
+}
+
+func TestRunCtxCompletedRunIgnoresLateCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		const n = 16
+		err := RunCtx(ctx, n, workers, func(_, i int) error {
+			if ran.Add(1) == n {
+				cancel() // lands after the last index has run
+			}
+			return nil
+		})
+		if err != nil && ran.Load() == n {
+			t.Fatalf("workers %d: all %d indices ran but err = %v", workers, n, err)
+		}
+		cancel()
+	}
+}
+
+func TestRunMetricsCtxDrainsQueueDepthOnCancel(t *testing.T) {
+	o := obs.New()
+	m := NewMetrics(o, "ctxtest")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := RunMetricsCtx(ctx, 100, 4, m, func(_, i int) error { return nil }); err == nil {
+		t.Fatal("pre-cancelled RunMetricsCtx returned nil")
+	}
+	if depth := o.Metrics.Snapshot().Gauges["pool.ctxtest.queue_depth"]; depth != 0 {
+		t.Fatalf("queue depth after cancelled fan-out = %v, want 0", depth)
 	}
 }

@@ -1,0 +1,340 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pmgard/internal/obs"
+	"pmgard/internal/storage"
+)
+
+// State is a circuit breaker's position.
+type State int32
+
+// Breaker states, in gauge order: the storage.breaker_state gauge reports
+// the numeric value, so dashboards read 0 = closed, 1 = open, 2 = half-open.
+const (
+	// StateClosed passes every read through; consecutive failures are
+	// counted toward the trip threshold.
+	StateClosed State = iota
+	// StateOpen fails every read fast with ErrOpen until the cooldown
+	// expires.
+	StateOpen
+	// StateHalfOpen lets a bounded number of probe reads through; a probe
+	// failure re-opens, enough probe successes close.
+	StateHalfOpen
+)
+
+// String returns the lowercase state name.
+func (s State) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
+
+// BreakerConfig tunes a Breaker. The zero value uses the documented
+// defaults.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive failed reads that trips
+	// the breaker open. Values below 1 mean the default of 5.
+	FailureThreshold int
+	// Cooldown is how long an open breaker refuses reads before letting
+	// half-open probes through. 0 means the default of 2s.
+	Cooldown time.Duration
+	// HalfOpenProbes is both the number of concurrent probe reads a
+	// half-open breaker admits and the successes required to close. Values
+	// below 1 mean the default of 1.
+	HalfOpenProbes int
+	// Now replaces time.Now for the cooldown clock; tests use it to step
+	// time deterministically. nil means time.Now.
+	Now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold < 1 {
+		c.FailureThreshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * time.Second
+	}
+	if c.HalfOpenProbes < 1 {
+		c.HalfOpenProbes = 1
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is a consecutive-failure circuit breaker over a segment source.
+// Closed, it passes reads through and counts consecutive failures (any
+// fault class — a dead tier surfaces as either retry exhaustion or
+// permanent errors; successes reset the count, so an isolated lost plane
+// among healthy reads never trips it). At the threshold it opens: every
+// read fails fast with ErrOpen instead of burning the per-request retry
+// budget against a dead tier. After the cooldown it half-opens, letting a
+// bounded number of probe reads through — a probe failure re-opens, enough
+// successes close.
+//
+// Context cancellation errors (context.Canceled, context.DeadlineExceeded)
+// are the caller's fault, not the tier's: Record ignores them, so client
+// timeouts can never trip a breaker on a healthy source.
+//
+// A Breaker is safe for concurrent use. Every Allow that returns nil must
+// be followed by exactly one Record with the read's outcome.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    State
+	failures int       // consecutive failures while closed
+	openedAt time.Time // trip time of the current open period
+	probes   int       // in-flight probe reads while half-open
+	probeOK  int       // successful probes this half-open period
+
+	stateG    *obs.Gauge
+	opened    *obs.Counter
+	halfOpens *obs.Counter
+	closedC   *obs.Counter
+	fastFails *obs.Counter
+}
+
+// NewBreaker returns a closed breaker under cfg (zero fields take the
+// BreakerConfig defaults).
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{
+		cfg:       cfg.withDefaults(),
+		stateG:    new(obs.Gauge),
+		opened:    new(obs.Counter),
+		halfOpens: new(obs.Counter),
+		closedC:   new(obs.Counter),
+		fastFails: new(obs.Counter),
+	}
+}
+
+// Instrument rebinds the breaker instruments to shared, registry-named ones
+// in o. The state gauge is "storage.breaker_state" (suffixed ".<source>"
+// when source is non-empty, so multi-field servers get one gauge per tier);
+// the transition counters live under "resilience.breaker[.<source>].":
+// opened, half_opens, closed, fast_fails. Call before the breaker is shared
+// across goroutines; a nil or metrics-less o is a no-op.
+func (b *Breaker) Instrument(o *obs.Obs, source string) {
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gaugeName := "storage.breaker_state"
+	prefix := "resilience.breaker"
+	if source != "" {
+		gaugeName += "." + source
+		prefix += "." + source
+	}
+	g := o.Gauge(gaugeName)
+	g.Set(float64(b.state))
+	b.stateG = g
+	bind := func(dst **obs.Counter, name string) {
+		c := o.Counter(prefix + "." + name)
+		c.Add((*dst).Value())
+		*dst = c
+	}
+	bind(&b.opened, "opened")
+	bind(&b.halfOpens, "half_opens")
+	bind(&b.closedC, "closed")
+	bind(&b.fastFails, "fast_fails")
+}
+
+// State returns the breaker's current position, advancing an expired open
+// period to half-open first so callers never observe a stale open.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advanceLocked()
+	return b.state
+}
+
+// advanceLocked moves an open breaker whose cooldown has expired to
+// half-open. b.mu must be held.
+func (b *Breaker) advanceLocked() {
+	if b.state == StateOpen && b.cfg.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		b.setStateLocked(StateHalfOpen)
+		b.halfOpens.Add(1)
+		b.probes, b.probeOK = 0, 0
+	}
+}
+
+// setStateLocked records a state transition. b.mu must be held.
+func (b *Breaker) setStateLocked(s State) {
+	b.state = s
+	b.stateG.Set(float64(s))
+}
+
+// tripLocked opens the breaker and starts its cooldown. b.mu must be held.
+func (b *Breaker) tripLocked() {
+	b.setStateLocked(StateOpen)
+	b.openedAt = b.cfg.Now()
+	b.failures = 0
+	b.probes, b.probeOK = 0, 0
+	b.opened.Add(1)
+}
+
+// Allow asks whether a read may proceed. nil means yes — the caller must
+// Record the outcome; ErrOpen means the breaker refused (fail fast, do not
+// Record).
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advanceLocked()
+	switch b.state {
+	case StateClosed:
+		return nil
+	case StateHalfOpen:
+		if b.probes < b.cfg.HalfOpenProbes {
+			b.probes++
+			return nil
+		}
+	}
+	b.fastFails.Add(1)
+	return ErrOpen
+}
+
+// Record reports the outcome of a read Allow admitted. A nil err is a
+// success; two classes of error count as neither success nor failure:
+// context cancellation (attributed to the caller, not the store) and
+// permanent data faults (a lost or quarantined plane is the store answering
+// authoritatively — the tier is up, the data is gone, and the session's
+// degraded-serving path handles it; opening the breaker would turn graceful
+// degradation into blanket unavailability).
+func (b *Breaker) Record(err error) {
+	callerFault := err != nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+			storage.Classify(err) == storage.FaultPermanent)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateHalfOpen:
+		if b.probes > 0 {
+			b.probes--
+		}
+		if callerFault {
+			return
+		}
+		if err != nil {
+			b.tripLocked()
+			return
+		}
+		b.probeOK++
+		if b.probeOK >= b.cfg.HalfOpenProbes {
+			b.setStateLocked(StateClosed)
+			b.failures = 0
+			b.closedC.Add(1)
+		}
+	case StateClosed:
+		if callerFault {
+			return
+		}
+		if err == nil {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.tripLocked()
+		}
+	case StateOpen:
+		// A straggler read admitted before the trip landed; the open period
+		// already superseded whatever it observed.
+	}
+}
+
+// BreakerStats is a point-in-time view over the breaker counters.
+type BreakerStats struct {
+	// State is the current breaker position.
+	State State
+	// Opened is the number of closed/half-open → open transitions.
+	Opened int64
+	// HalfOpens is the number of open → half-open transitions.
+	HalfOpens int64
+	// Closed is the number of half-open → closed transitions.
+	Closed int64
+	// FastFails is the number of reads refused with ErrOpen.
+	FastFails int64
+}
+
+// Stats returns a snapshot of the breaker counters.
+func (b *Breaker) Stats() BreakerStats {
+	return BreakerStats{
+		State:     b.State(),
+		Opened:    b.opened.Value(),
+		HalfOpens: b.halfOpens.Value(),
+		Closed:    b.closedC.Value(),
+		FastFails: b.fastFails.Value(),
+	}
+}
+
+// PlaneSource yields compressed plane payloads; structurally identical to
+// core.SegmentSource and storage.PlaneSource, restated so this package
+// wraps either without importing them.
+type PlaneSource interface {
+	// Segment returns the compressed payload of plane k of level l.
+	Segment(level, plane int) ([]byte, error)
+}
+
+// PlaneSourceCtx is the context-aware extension of PlaneSource, matching
+// core.ContextSource; sources that support it get per-read cancellation
+// through the breaker.
+type PlaneSourceCtx interface {
+	// SegmentCtx is Segment bounded by ctx.
+	SegmentCtx(ctx context.Context, level, plane int) ([]byte, error)
+}
+
+// BreakerSource gates a segment source behind a Breaker: reads ask Allow
+// first (failing fast with ErrOpen while the breaker is open) and report
+// their outcome to Record. Layer it *above* the retry layer — the breaker's
+// unit of failure is "the whole retry budget burned", so one dead-tier
+// request costs one failure, and once open, later requests skip the budget
+// entirely.
+type BreakerSource struct {
+	// Src is the wrapped source.
+	Src PlaneSource
+	// Breaker gates the reads; must be non-nil.
+	Breaker *Breaker
+}
+
+// Segment implements PlaneSource (and core.SegmentSource) through the
+// breaker.
+func (b BreakerSource) Segment(level, plane int) ([]byte, error) {
+	return b.SegmentCtx(context.Background(), level, plane)
+}
+
+// SegmentCtx implements PlaneSourceCtx (and core.ContextSource) through the
+// breaker, forwarding ctx to the wrapped source when it is context-aware.
+func (b BreakerSource) SegmentCtx(ctx context.Context, level, plane int) ([]byte, error) {
+	if err := b.Breaker.Allow(); err != nil {
+		return nil, fmt.Errorf("resilience: read level %d plane %d: %w", level, plane, err)
+	}
+	var payload []byte
+	var err error
+	switch {
+	case ctx.Err() != nil:
+		err = ctx.Err()
+	default:
+		if cs, ok := b.Src.(PlaneSourceCtx); ok {
+			payload, err = cs.SegmentCtx(ctx, level, plane)
+		} else {
+			payload, err = b.Src.Segment(level, plane)
+		}
+	}
+	b.Breaker.Record(err)
+	return payload, err
+}

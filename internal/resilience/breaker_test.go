@@ -1,0 +1,258 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"pmgard/internal/obs"
+	"pmgard/internal/storage"
+)
+
+// fakeClock is a hand-stepped clock for deterministic cooldown tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func testBreaker(clk *fakeClock, thr int, cooldown time.Duration) *Breaker {
+	return NewBreaker(BreakerConfig{
+		FailureThreshold: thr,
+		Cooldown:         cooldown,
+		Now:              clk.now,
+	})
+}
+
+var errTier = errors.New("tier exploded")
+
+// record drives one allowed read outcome through the breaker, failing the
+// test if Allow refuses.
+func record(t *testing.T, b *Breaker, err error) {
+	t.Helper()
+	if aerr := b.Allow(); aerr != nil {
+		t.Fatalf("Allow refused in state %v: %v", b.State(), aerr)
+	}
+	b.Record(err)
+}
+
+func TestBreakerOpensOnConsecutiveFailures(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk, 3, time.Second)
+	record(t, b, errTier)
+	record(t, b, errTier)
+	// A success resets the consecutive count: an isolated lost plane among
+	// healthy reads never trips the breaker.
+	record(t, b, nil)
+	record(t, b, errTier)
+	record(t, b, errTier)
+	if b.State() != StateClosed {
+		t.Fatalf("state after 2 consecutive failures = %v, want closed", b.State())
+	}
+	record(t, b, errTier)
+	if b.State() != StateOpen {
+		t.Fatalf("state after 3 consecutive failures = %v, want open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("Allow while open = %v, want ErrOpen", err)
+	}
+	s := b.Stats()
+	if s.Opened != 1 || s.FastFails != 1 {
+		t.Fatalf("stats = %+v, want 1 opened, 1 fast fail", s)
+	}
+}
+
+func TestBreakerHalfOpensAfterCooldownAndCloses(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk, 2, time.Second)
+	record(t, b, errTier)
+	record(t, b, errTier)
+	if b.State() != StateOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	// Before the cooldown: still failing fast.
+	clk.advance(999 * time.Millisecond)
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("Allow 1ms before cooldown = %v, want ErrOpen", err)
+	}
+	// At the cooldown: one probe is admitted, concurrent reads still fail
+	// fast.
+	clk.advance(time.Millisecond)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe Allow after cooldown = %v, want nil", err)
+	}
+	if b.State() != StateHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("second concurrent probe = %v, want ErrOpen", err)
+	}
+	b.Record(nil)
+	if b.State() != StateClosed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	s := b.Stats()
+	if s.HalfOpens != 1 || s.Closed != 1 {
+		t.Fatalf("stats = %+v, want 1 half-open, 1 closed", s)
+	}
+	// Closed again: failures must start from zero.
+	record(t, b, errTier)
+	if b.State() != StateClosed {
+		t.Fatalf("one failure after close reopened the breaker")
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk, 1, time.Second)
+	record(t, b, errTier)
+	clk.advance(time.Second)
+	record(t, b, errTier) // failed probe
+	if b.State() != StateOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	// The failed probe restarts the cooldown from its failure time.
+	clk.advance(999 * time.Millisecond)
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("Allow before restarted cooldown = %v, want ErrOpen", err)
+	}
+	clk.advance(time.Millisecond)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe after restarted cooldown = %v, want nil", err)
+	}
+	b.Record(nil)
+	if b.State() != StateClosed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+}
+
+func TestBreakerIgnoresCallerCancellation(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk, 1, time.Second)
+	for i := 0; i < 10; i++ {
+		record(t, b, fmt.Errorf("read: %w", context.DeadlineExceeded))
+		record(t, b, fmt.Errorf("read: %w", context.Canceled))
+	}
+	if b.State() != StateClosed {
+		t.Fatalf("client timeouts tripped the breaker: state %v", b.State())
+	}
+	// In half-open, a cancelled probe returns the slot without a verdict.
+	record(t, b, errTier)
+	clk.advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(context.Canceled)
+	if b.State() != StateHalfOpen {
+		t.Fatalf("cancelled probe moved state to %v, want half-open", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe slot not returned after cancelled probe: %v", err)
+	}
+	b.Record(nil)
+	if b.State() != StateClosed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+}
+
+func TestBreakerStateGauge(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk, 1, time.Second)
+	o := obs.New()
+	b.Instrument(o, "Jx")
+	gauge := func() float64 {
+		return o.Metrics.Snapshot().Gauges["storage.breaker_state.Jx"]
+	}
+	if gauge() != float64(StateClosed) {
+		t.Fatalf("initial gauge = %v, want closed (0)", gauge())
+	}
+	record(t, b, errTier)
+	if gauge() != float64(StateOpen) {
+		t.Fatalf("gauge after trip = %v, want open (1)", gauge())
+	}
+	clk.advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	if gauge() != float64(StateHalfOpen) {
+		t.Fatalf("gauge after cooldown = %v, want half-open (2)", gauge())
+	}
+	b.Record(nil)
+	if gauge() != float64(StateClosed) {
+		t.Fatalf("gauge after close = %v, want closed (0)", gauge())
+	}
+	snap := o.Metrics.Snapshot()
+	if snap.Counters["resilience.breaker.Jx.opened"] != 1 ||
+		snap.Counters["resilience.breaker.Jx.closed"] != 1 {
+		t.Fatalf("transition counters missing: %v", snap.Counters)
+	}
+}
+
+// flakySegments is a PlaneSource whose failure mode is toggled by tests.
+type flakySegments struct{ fail bool }
+
+func (f *flakySegments) Segment(level, plane int) ([]byte, error) {
+	if f.fail {
+		return nil, errTier
+	}
+	return []byte{byte(level), byte(plane)}, nil
+}
+
+func TestBreakerSourceGatesReads(t *testing.T) {
+	clk := newFakeClock()
+	br := testBreaker(clk, 2, time.Second)
+	src := &flakySegments{fail: true}
+	bs := BreakerSource{Src: src, Breaker: br}
+
+	for i := 0; i < 2; i++ {
+		if _, err := bs.Segment(0, i); !errors.Is(err, errTier) {
+			t.Fatalf("read %d err = %v, want tier error", i, err)
+		}
+	}
+	// Open: fails fast without touching the source.
+	if _, err := bs.Segment(0, 9); !errors.Is(err, ErrOpen) {
+		t.Fatalf("read while open = %v, want ErrOpen", err)
+	}
+	// Recovery: after the cooldown the probe read goes through and closes.
+	src.fail = false
+	clk.advance(time.Second)
+	payload, err := bs.SegmentCtx(context.Background(), 1, 2)
+	if err != nil {
+		t.Fatalf("probe read: %v", err)
+	}
+	if len(payload) != 2 || payload[0] != 1 || payload[1] != 2 {
+		t.Fatalf("probe payload = %v", payload)
+	}
+	if br.State() != StateClosed {
+		t.Fatalf("state after probe success = %v, want closed", br.State())
+	}
+	// A pre-cancelled context never reaches the source and never counts
+	// against the breaker.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := bs.SegmentCtx(ctx, 0, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled read = %v, want context.Canceled", err)
+	}
+	if br.State() != StateClosed {
+		t.Fatalf("cancelled read changed breaker state to %v", br.State())
+	}
+}
+
+func TestRecordIgnoresPermanentDataFaults(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 2})
+	// A lost plane answered authoritatively by an up store must never open
+	// the breaker, no matter how many refines trip over it.
+	for i := 0; i < 10; i++ {
+		b.Record(fmt.Errorf("plane lost: %w", storage.ErrPermanent))
+	}
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after permanent data faults = %v, want closed", got)
+	}
+	// Transient tier faults still count.
+	b.Record(fmt.Errorf("tier down: %w", storage.ErrTransient))
+	b.Record(fmt.Errorf("tier down: %w", storage.ErrTransient))
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after transient faults = %v, want open", got)
+	}
+}

@@ -21,6 +21,7 @@ package servecache
 
 import (
 	"container/list"
+	"context"
 	"sync"
 	"time"
 
@@ -56,6 +57,19 @@ type Source interface {
 	FetchPlane(key Key) (raw []byte, payload int64, err error)
 }
 
+// FetchCtx is Fetch with a context: the cache passes the *flight* context,
+// which is cancelled only when every waiter coalesced onto the flight has
+// abandoned it — never when one of several waiters times out.
+type FetchCtx func(ctx context.Context) (raw []byte, payload int64, err error)
+
+// SourceCtx is Source with a context, with the same flight-context contract
+// as FetchCtx.
+type SourceCtx interface {
+	// FetchPlaneCtx fetches and decompresses the plane identified by key,
+	// honoring ctx cancellation.
+	FetchPlaneCtx(ctx context.Context, key Key) (raw []byte, payload int64, err error)
+}
+
 // entry is one cached plane: the decompressed bitset plus the compressed
 // payload size its fetch moved (replayed to every later hit so per-session
 // accounting matches the uncached path).
@@ -73,6 +87,15 @@ type flight struct {
 	raw     []byte
 	payload int64
 	err     error
+	// waiters counts callers whose result depends on this flight, guarded
+	// by Cache.mu. A cancelled waiter detaches by decrementing it; when the
+	// count reaches zero the flight context is cancelled so no orphaned
+	// fetch keeps running. Non-cancellable waiters never detach, pinning
+	// the flight to completion.
+	waiters int
+	// cancel ends the flight context. Nil for flights led by the
+	// synchronous (non-context) path, which always run to completion.
+	cancel context.CancelFunc
 }
 
 // Stats is a point-in-time view over the cache counters, for tests and CLI
@@ -91,6 +114,9 @@ type Stats struct {
 	Evictions int64
 	// Oversize is the number of fetched planes too large to cache at all.
 	Oversize int64
+	// Detached is the number of GetOrFetchCtx waiters that abandoned an
+	// in-flight fetch because their context ended before it landed.
+	Detached int64
 	// Bytes is the decompressed bytes currently held.
 	Bytes int64
 	// Entries is the number of planes currently held.
@@ -106,6 +132,7 @@ type cacheCounters struct {
 	coalesced *obs.Counter
 	evictions *obs.Counter
 	oversize  *obs.Counter
+	detached  *obs.Counter
 	bytes     *obs.Gauge
 	entries   *obs.Gauge
 	hitSecs   *obs.Histogram
@@ -119,6 +146,7 @@ func newCacheCounters() cacheCounters {
 		coalesced: new(obs.Counter),
 		evictions: new(obs.Counter),
 		oversize:  new(obs.Counter),
+		detached:  new(obs.Counter),
 		bytes:     new(obs.Gauge),
 		entries:   new(obs.Gauge),
 		hitSecs:   obs.NewHistogram(obs.LatencyBuckets()),
@@ -180,6 +208,7 @@ func (c *Cache) Instrument(o *obs.Obs) {
 	bind(&c.c.coalesced, "coalesced")
 	bind(&c.c.evictions, "evictions")
 	bind(&c.c.oversize, "oversize")
+	bind(&c.c.detached, "detached")
 	bindGauge := func(dst **obs.Gauge, name string) {
 		g := o.Gauge("servecache." + name)
 		g.Add((*dst).Value())
@@ -228,13 +257,17 @@ func (c *Cache) getOrFetch(key Key, fetch Fetch, src Source) (raw []byte, payloa
 		return raw, payload, true, nil
 	}
 	if f, ok := c.flights[key]; ok {
+		// Pin the flight: a non-cancellable waiter never detaches, so the
+		// fetch is guaranteed to run to completion even if every
+		// context-carrying waiter gives up.
+		f.waiters++
 		c.mu.Unlock()
 		c.c.coalesced.Add(1)
 		<-f.done
 		c.c.missSecs.Observe(time.Since(start).Seconds())
 		return f.raw, f.payload, false, f.err
 	}
-	f := &flight{done: make(chan struct{})}
+	f := &flight{done: make(chan struct{}), waiters: 1}
 	c.flights[key] = f
 	c.mu.Unlock()
 
@@ -254,6 +287,122 @@ func (c *Cache) getOrFetch(key Key, fetch Fetch, src Source) (raw []byte, payloa
 	close(f.done)
 	c.c.missSecs.Observe(time.Since(start).Seconds())
 	return f.raw, f.payload, false, f.err
+}
+
+// GetOrFetchCtx is GetOrFetch with cancellation. The semantics on top of
+// GetOrFetch:
+//
+//   - fetch runs under the *flight* context, not the caller's: it is derived
+//     via context.WithoutCancel so one waiter's deadline never aborts a fetch
+//     other waiters still depend on.
+//   - a waiter whose ctx ends before the flight lands detaches and returns
+//     ctx's error immediately; the fetch keeps running for the remaining
+//     waiters, and its result is still cached.
+//   - when the *last* waiter detaches, the flight context is cancelled so no
+//     orphaned fetch keeps hitting the store.
+//
+// A cancelled waiter therefore never poisons concurrent waiters: survivors
+// always observe the real fetch result. A ctx that cannot be cancelled
+// (ctx.Done() == nil) takes exactly the synchronous GetOrFetch path.
+func (c *Cache) GetOrFetchCtx(ctx context.Context, key Key, fetch FetchCtx) (raw []byte, payload int64, hit bool, err error) {
+	return c.getOrFetchCtx(ctx, key, fetch)
+}
+
+// GetOrFetchFromCtx is GetOrFetchCtx with the miss path delegated to a
+// long-lived SourceCtx instead of a per-call closure.
+func (c *Cache) GetOrFetchFromCtx(ctx context.Context, key Key, src SourceCtx) (raw []byte, payload int64, hit bool, err error) {
+	return c.getOrFetchCtx(ctx, key, func(fctx context.Context) ([]byte, int64, error) {
+		return src.FetchPlaneCtx(fctx, key)
+	})
+}
+
+// getOrFetchCtx is the cancellable body behind the Ctx variants.
+func (c *Cache) getOrFetchCtx(ctx context.Context, key Key, fetch FetchCtx) (raw []byte, payload int64, hit bool, err error) {
+	if ctx.Done() == nil {
+		return c.getOrFetch(key, func() ([]byte, int64, error) { return fetch(ctx) }, nil)
+	}
+	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, 0, false, err
+	}
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(e.elem)
+		raw, payload = e.raw, e.payload
+		c.mu.Unlock()
+		c.c.hits.Add(1)
+		c.c.hitSecs.Observe(time.Since(start).Seconds())
+		return raw, payload, true, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		f.waiters++
+		c.mu.Unlock()
+		c.c.coalesced.Add(1)
+		return c.awaitFlight(ctx, key, f, start)
+	}
+	fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	f := &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	c.flights[key] = f
+	c.mu.Unlock()
+	c.c.misses.Add(1)
+	go c.runFlight(fctx, key, f, fetch)
+	return c.awaitFlight(ctx, key, f, start)
+}
+
+// runFlight executes one asynchronous fetch and completes its flight:
+// result recorded, flight unregistered, entry inserted on success, waiters
+// released. Runs on its own goroutine so a cancelled leader can return
+// without abandoning the flight's followers.
+func (c *Cache) runFlight(fctx context.Context, key Key, f *flight, fetch FetchCtx) {
+	f.raw, f.payload, f.err = fetch(fctx)
+	c.mu.Lock()
+	// An abandoned flight was already unregistered by its last waiter, and
+	// the key may since host a fresh flight — only remove our own.
+	if c.flights[key] == f {
+		delete(c.flights, key)
+	}
+	if f.err == nil {
+		c.insertLocked(key, f.raw, f.payload)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	f.cancel()
+}
+
+// awaitFlight blocks one waiter on a flight until the fetch lands or the
+// waiter's ctx ends, detaching (and cancelling the flight when it was the
+// last waiter) in the latter case.
+func (c *Cache) awaitFlight(ctx context.Context, key Key, f *flight, start time.Time) ([]byte, int64, bool, error) {
+	select {
+	case <-f.done:
+		c.c.missSecs.Observe(time.Since(start).Seconds())
+		return f.raw, f.payload, false, f.err
+	case <-ctx.Done():
+	}
+	c.mu.Lock()
+	select {
+	case <-f.done:
+		// The fetch landed while cancellation was being processed; the
+		// result is ready, so take it rather than discard it.
+		c.mu.Unlock()
+		c.c.missSecs.Observe(time.Since(start).Seconds())
+		return f.raw, f.payload, false, f.err
+	default:
+	}
+	f.waiters--
+	last := f.waiters == 0
+	if last && c.flights[key] == f {
+		// Unregister the doomed flight in the same critical section as the
+		// final detach, so a caller arriving after the abandonment never
+		// coalesces onto it and inherits a cancellation it did not ask for.
+		delete(c.flights, key)
+	}
+	c.mu.Unlock()
+	if last && f.cancel != nil {
+		f.cancel()
+	}
+	c.c.detached.Add(1)
+	return nil, 0, false, ctx.Err()
 }
 
 // insertLocked adds a fetched plane, evicting least-recently-used entries
@@ -334,6 +483,7 @@ func (c *Cache) Stats() Stats {
 		Coalesced: c.c.coalesced.Value(),
 		Evictions: c.c.evictions.Value(),
 		Oversize:  c.c.oversize.Value(),
+		Detached:  c.c.detached.Value(),
 		Bytes:     bytes,
 		Entries:   entries,
 	}

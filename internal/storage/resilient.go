@@ -86,8 +86,10 @@ type RetryPolicy struct {
 	// JitterSeed seeds the deterministic backoff jitter so tests are
 	// reproducible. 0 uses a fixed default seed.
 	JitterSeed int64
-	// Sleep replaces time.Sleep between retries; tests use it to avoid
-	// real delays. nil means time.Sleep.
+	// Sleep replaces the backoff sleep between retries; tests use it to
+	// avoid real delays. nil means a real timer that SegmentCtx can
+	// interrupt on context cancellation; a custom Sleep is called as-is
+	// and only checked for cancellation after it returns.
 	Sleep func(time.Duration)
 }
 
@@ -113,9 +115,6 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	}
 	if p.MaxDelay <= 0 {
 		p.MaxDelay = d.MaxDelay
-	}
-	if p.Sleep == nil {
-		p.Sleep = time.Sleep
 	}
 	return p
 }
@@ -242,8 +241,17 @@ func (r *RetryingSource) Instrument(o *obs.Obs) {
 }
 
 // Segment implements PlaneSource (and core.SegmentSource) with the retry
-// protocol.
+// protocol, bounded only by the source context given at construction.
 func (r *RetryingSource) Segment(level, plane int) ([]byte, error) {
+	return r.SegmentCtx(context.Background(), level, plane)
+}
+
+// SegmentCtx implements the retry protocol bounded by ctx in addition to
+// the source context: both cancel in-flight reads and interrupt backoff
+// sleeps, so a caller abandoning a request (deadline expiry, client
+// disconnect) stops burning attempts against the tier immediately. A
+// non-cancellable ctx is exactly Segment.
+func (r *RetryingSource) SegmentCtx(ctx context.Context, level, plane int) ([]byte, error) {
 	id := SegmentID{Level: level, Plane: plane}
 	r.c.reads.Add(1)
 	r.mu.Lock()
@@ -255,10 +263,10 @@ func (r *RetryingSource) Segment(level, plane int) ([]byte, error) {
 
 	var last error
 	for attempt := 1; attempt <= r.pol.MaxAttempts; attempt++ {
-		if err := r.ctx.Err(); err != nil {
+		if err := firstCtxErr(r.ctx, ctx); err != nil {
 			return nil, fmt.Errorf("storage: read level %d plane %d: %w", level, plane, err)
 		}
-		payload, err := r.readOnce(level, plane)
+		payload, err := r.readOnce(ctx, level, plane)
 		if err == nil {
 			r.c.bytesOK.Add(int64(len(payload)))
 			if attempt > 1 {
@@ -279,7 +287,9 @@ func (r *RetryingSource) Segment(level, plane int) ([]byte, error) {
 			r.c.retries.Add(1)
 			d := r.backoff(attempt)
 			r.c.backoff.Add(d.Seconds())
-			r.pol.Sleep(d)
+			if err := r.sleep(ctx, d); err != nil {
+				return nil, fmt.Errorf("storage: read level %d plane %d: %w", level, plane, err)
+			}
 		}
 	}
 	r.c.exhausted.Add(1)
@@ -287,12 +297,42 @@ func (r *RetryingSource) Segment(level, plane int) ([]byte, error) {
 		level, plane, r.pol.MaxAttempts, last)
 }
 
-// readOnce issues a single attempt, bounded by the per-read timeout and
-// the source context. The underlying read runs in its own goroutine so a
-// hung tier cannot stall the retriever; an abandoned read finishes (and is
-// discarded) in the background.
-func (r *RetryingSource) readOnce(level, plane int) ([]byte, error) {
-	if r.pol.Timeout <= 0 && r.ctx.Done() == nil {
+// firstCtxErr returns the first ended context's error, nil when both are
+// still live.
+func firstCtxErr(a, b context.Context) error {
+	if err := a.Err(); err != nil {
+		return err
+	}
+	return b.Err()
+}
+
+// sleep waits out one backoff delay. A custom policy Sleep runs as-is
+// (tests rely on it being called exactly once per retry) and cancellation
+// is only observed after it returns; the default real-timer path is
+// interrupted by either context immediately.
+func (r *RetryingSource) sleep(ctx context.Context, d time.Duration) error {
+	if r.pol.Sleep != nil {
+		r.pol.Sleep(d)
+		return firstCtxErr(r.ctx, ctx)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-r.ctx.Done():
+		return r.ctx.Err()
+	}
+}
+
+// readOnce issues a single attempt, bounded by the per-read timeout, the
+// source context and the per-call context. The underlying read runs in its
+// own goroutine so a hung tier cannot stall the retriever; an abandoned
+// read finishes (and is discarded) in the background.
+func (r *RetryingSource) readOnce(ctx context.Context, level, plane int) ([]byte, error) {
+	if r.pol.Timeout <= 0 && r.ctx.Done() == nil && ctx.Done() == nil {
 		return r.src.Segment(level, plane)
 	}
 	type result struct {
@@ -333,6 +373,9 @@ func (r *RetryingSource) readOnce(level, plane int) ([]byte, error) {
 		abandoned.Store(true)
 		return nil, fmt.Errorf("storage: read level %d plane %d timed out after %v: %w",
 			level, plane, r.pol.Timeout, ErrTransient)
+	case <-ctx.Done():
+		abandoned.Store(true)
+		return nil, fmt.Errorf("storage: read level %d plane %d: %w", level, plane, ctx.Err())
 	case <-r.ctx.Done():
 		abandoned.Store(true)
 		return nil, fmt.Errorf("storage: read level %d plane %d: %w", level, plane, r.ctx.Err())
