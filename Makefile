@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race fuzz bench bench-full experiments clean
+.PHONY: all build test vet race cover fuzz bench bench-full experiments clean
 
 all: build vet test
 
@@ -19,6 +19,11 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Coverage gate over the codec stack (internal/codec, internal/bitplane,
+# internal/core) against the baseline in ci/coverage_baseline.txt.
+cover:
+	./ci/covergate.sh
+
 # Short fuzz pass over every fuzz target (regression corpora always run
 # under plain `make test`).
 fuzz:
@@ -26,6 +31,7 @@ fuzz:
 	$(GO) test -fuzz FuzzRoundTrip -fuzztime 30s ./internal/lossless/
 	$(GO) test -fuzz FuzzDecompressGarbage -fuzztime 30s ./internal/lossless/
 	$(GO) test -fuzz FuzzRead -fuzztime 30s ./internal/fieldio/
+	$(GO) test -fuzz FuzzCodecRoundtrip -fuzztime 30s ./internal/codec/codectest/
 
 # testing.B harness at smoke scale (one pass per figure).
 bench:

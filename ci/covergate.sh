@@ -1,0 +1,22 @@
+#!/bin/sh
+# Coverage gate over the codec stack: the merged statement coverage of
+# internal/codec (plus backends and the conformance suite), internal/bitplane,
+# and internal/core must not drop below the recorded baseline. The baseline
+# lives in ci/coverage_baseline.txt; raise it when coverage genuinely
+# improves, never lower it to make a PR pass.
+set -eu
+
+cd "$(dirname "$0")/.."
+baseline=$(cat ci/coverage_baseline.txt)
+profile="${COVERPROFILE:-$(mktemp)}"
+
+go test -coverprofile="$profile" \
+	-coverpkg=pmgard/internal/codec/...,pmgard/internal/bitplane,pmgard/internal/core \
+	./internal/codec/... ./internal/bitplane/ ./internal/core/
+
+total=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $NF); print $NF}')
+echo "covergate: total ${total}% (baseline ${baseline}%)"
+awk -v t="$total" -v b="$baseline" 'BEGIN { exit !(t+0 >= b+0) }' || {
+	echo "covergate: coverage ${total}% fell below the recorded baseline ${baseline}%" >&2
+	exit 1
+}

@@ -7,12 +7,19 @@
 //
 // Usage:
 //
-//	serve -in jx.pmgd[,ex.pmgd...] [-tiered dir,...] [-addr localhost:8080]
+//	serve -in jx.pmgd[,ex.pmgd...] [-tiered dir,...] [-raw jx.field,...]
+//	      [-addr localhost:8080]
 //	      [-cache-bytes 268435456] [-retries 8]
 //	      [-request-timeout 30s] [-drain-timeout 10s]
 //	      [-max-inflight 0] [-max-queue 0]
 //	      [-breaker-failures 5] [-breaker-cooldown 2s]
 //	      [-metrics-out metrics.json] [-trace-out trace.json] [-debug-addr addr]
+//
+// Raw .field inputs are probed at startup: every registered progressive
+// codec backend is tried against the field (core.ProbeBackends) and the
+// field is refactored and served under the backend whose measured retrieval
+// cost is lowest — the per-field codec selection recorded by
+// `compare -probe -bench-out BENCH_codec.json`.
 //
 // Endpoints:
 //
@@ -62,6 +69,7 @@ import (
 
 	"pmgard/internal/bufpool"
 	"pmgard/internal/core"
+	"pmgard/internal/fieldio"
 	"pmgard/internal/grid"
 	"pmgard/internal/obs"
 	"pmgard/internal/resilience"
@@ -81,6 +89,7 @@ func run(args []string) error {
 	addr := fs.String("addr", "localhost:8080", "listen address for the API")
 	in := fs.String("in", "", "comma-separated .pmgd files to serve")
 	tiered := fs.String("tiered", "", "comma-separated tiered-store directories to serve")
+	raw := fs.String("raw", "", "comma-separated raw .field files to probe, refactor under the winning codec backend, and serve")
 	cacheBytes := fs.Int64("cache-bytes", 256<<20, "shared plane-cache budget in decompressed bytes (0 = unbounded)")
 	retries := fs.Int("retries", 0, "wrap stores in the retry/backoff layer with this attempt cap (0 = no retry layer)")
 	requestTimeout := fs.Duration("request-timeout", 30*time.Second, "per-refine deadline propagated through fetch and retry (0 = none)")
@@ -92,8 +101,8 @@ func run(args []string) error {
 	var of obs.Flags
 	of.Register(fs)
 	fs.Parse(args)
-	if *in == "" && *tiered == "" {
-		return fmt.Errorf("-in or -tiered is required")
+	if *in == "" && *tiered == "" && *raw == "" {
+		return fmt.Errorf("-in, -tiered, or -raw is required")
 	}
 	o, err := of.Start(os.Stderr)
 	if err != nil {
@@ -128,6 +137,13 @@ func run(args []string) error {
 		if err := srv.addTiered(dir); err != nil {
 			return err
 		}
+	}
+	for _, path := range splitList(*raw) {
+		backend, err := srv.addRaw(path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("probed %s: serving under the %s backend\n", path, backend)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -305,6 +321,27 @@ func (s *server) addTiered(dir string) error {
 	return s.add(h, core.TieredSource{Store: st}, st.Close)
 }
 
+// addRaw probes a raw .field file against every registered codec backend,
+// refactors it under the winner, and serves the in-memory artifact. Returns
+// the selected backend ID.
+func (s *server) addRaw(path string) (string, error) {
+	meta, field, err := fieldio.Read(path)
+	if err != nil {
+		return "", err
+	}
+	cmp, err := core.ProbeBackends(field, core.DefaultConfig(), meta.Field, nil, nil)
+	if err != nil {
+		return "", err
+	}
+	cfg := core.DefaultConfig()
+	cfg.Backend = cmp.Winner
+	c, err := core.Compress(field, cfg, meta.Field, meta.Timestep)
+	if err != nil {
+		return "", err
+	}
+	return cmp.Winner, s.add(&c.Header, c, nil)
+}
+
 // beginDrain flips the server into draining mode: /readyz answers 503 and
 // new refine requests are rejected so a load balancer stops routing here
 // while in-flight work completes.
@@ -454,6 +491,7 @@ type openResponse struct {
 	Levels     int     `json:"levels"`
 	Planes     int     `json:"planes"`
 	Codec      string  `json:"codec"`
+	Backend    string  `json:"backend"`
 	ValueRange float64 `json:"value_range"`
 	TotalBytes int64   `json:"total_bytes"`
 }
@@ -473,6 +511,7 @@ func (s *server) handleOpen(w http.ResponseWriter, r *http.Request) {
 		Levels:     len(h.Levels),
 		Planes:     h.Planes,
 		Codec:      h.CodecName,
+		Backend:    h.Codec(),
 		ValueRange: h.ValueRange,
 		TotalBytes: h.TotalBytes(),
 	})

@@ -86,6 +86,39 @@ func ExampleSession() {
 	// no wasted reads: true
 }
 
+// ExampleBackends selects a progressive-codec backend explicitly and probes
+// which backend retrieves a field cheapest — the selection cmd/serve -raw
+// automates per field.
+func ExampleBackends() {
+	field := waveField()
+	fmt.Println("registered:", pmgard.Backends())
+
+	cfg := pmgard.DefaultConfig()
+	cfg.Backend = "interp"
+	c, err := pmgard.Compress(field, cfg, "demo", 0)
+	if err != nil {
+		panic(err)
+	}
+	h := &c.Header
+	rec, _, err := pmgard.RetrieveTolerance(h, c, h.TheoryEstimator(), h.AbsTolerance(1e-4))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("backend:", h.Codec())
+	fmt.Println("within bound:", pmgard.MaxAbsDiff(field, rec) <= h.AbsTolerance(1e-4))
+
+	cmp, err := pmgard.ProbeBackends(field, pmgard.DefaultConfig(), "demo", nil, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("probed backends:", len(cmp.Results) == len(pmgard.Backends()))
+	// Output:
+	// registered: [interp mgard]
+	// backend: interp
+	// within bound: true
+	// probed backends: true
+}
+
 // ExampleRetrieveResolution reconstructs at a quarter of the resolution
 // from only the coarse coefficient levels.
 func ExampleRetrieveResolution() {

@@ -1,0 +1,33 @@
+package codectest
+
+import (
+	"testing"
+
+	"pmgard/internal/codec"
+	"pmgard/internal/codec/interp"
+	"pmgard/internal/codec/mgard"
+)
+
+// TestConformanceMGARD runs the full suite against the default lifting
+// backend.
+func TestConformanceMGARD(t *testing.T) {
+	Run(t, mgard.Codec{})
+}
+
+// TestConformanceInterp runs the full suite against the interpolation
+// backend.
+func TestConformanceInterp(t *testing.T) {
+	Run(t, interp.Codec{})
+}
+
+// TestEveryRegisteredBackendIsConformant closes the gap between "the suite
+// ran on the backends we remembered" and "every backend linked into this
+// binary passed": a backend registered but not exercised above fails here.
+func TestEveryRegisteredBackendIsConformant(t *testing.T) {
+	covered := map[string]bool{mgard.ID: true, interp.ID: true}
+	for _, id := range codec.IDs() {
+		if !covered[id] {
+			t.Errorf("backend %q is registered but has no conformance run; add Run(t, ...) for it", id)
+		}
+	}
+}

@@ -1,7 +1,7 @@
 // Package core is the public face of the progressive retrieval framework
 // (Fig. 4 of the paper). It wires together the substrates:
 //
-//	decompose  → multilevel coefficients
+//	codec      → pluggable refactor/recompose backends (mgard, interp)
 //	bitplane   → nega-binary planes + error matrix
 //	lossless   → per-plane compressed segments
 //	storage    → tiered, ranged-read segment files
@@ -12,6 +12,12 @@
 // error estimation (the latter two live in internal/dmgard and
 // internal/emgard and plug in through the retrieval.ErrorEstimator and
 // fixed-plane interfaces defined here).
+//
+// The multilevel transform is dispatched through the codec registry: the
+// Config.Backend / Header.CodecID codec ID selects which ProgressiveCodec
+// refactors a field and recomposes its retrievals. The zero value selects
+// the MGARD-style backend, whose artifacts (headers, segments, manifests)
+// are byte-identical to the pre-interface pipeline's.
 package core
 
 import (
@@ -22,6 +28,7 @@ import (
 	"sync"
 
 	"pmgard/internal/bitplane"
+	"pmgard/internal/codec"
 	"pmgard/internal/decompose"
 	"pmgard/internal/features"
 	"pmgard/internal/grid"
@@ -30,10 +37,19 @@ import (
 	"pmgard/internal/pool"
 	"pmgard/internal/retrieval"
 	"pmgard/internal/storage"
+
+	// The in-tree backends register themselves with the codec registry;
+	// core links them so every entry point (library, commands, tests) sees
+	// the same backend set.
+	_ "pmgard/internal/codec/interp"
+	_ "pmgard/internal/codec/mgard"
 )
 
 // Config configures compression.
 type Config struct {
+	// Backend is the progressive-codec ID ("mgard", "interp"); empty
+	// selects codec.DefaultID, the MGARD-style pipeline.
+	Backend string
 	// Decompose controls the multilevel transform.
 	Decompose decompose.Options
 	// Planes is the number of bit-planes per coefficient level (the paper
@@ -97,6 +113,11 @@ type LevelMeta struct {
 
 // Header is the compression metadata written alongside the segments.
 type Header struct {
+	// CodecID names the progressive-codec backend that produced the
+	// artifact. It is omitted (empty) for the default MGARD backend so
+	// pre-interface files parse identically and mgard artifacts stay
+	// byte-identical; Codec() resolves the effective ID.
+	CodecID string `json:",omitempty"`
 	// FieldName labels the variable ("Jx", "Du", ...).
 	FieldName string
 	// Timestep is the simulation output step the field came from.
@@ -131,6 +152,40 @@ func (h *Header) DecomposeOptions() decompose.Options {
 	}
 }
 
+// Codec returns the effective progressive-codec ID of the artifact; an
+// empty CodecID means the default MGARD backend.
+func (h *Header) Codec() string {
+	if h.CodecID == "" {
+		return codec.DefaultID
+	}
+	return h.CodecID
+}
+
+// CodecOptions reconstructs the backend-agnostic transform options from the
+// header.
+func (h *Header) CodecOptions() codec.Options {
+	return codec.Options{
+		Levels:       h.DecomposeLevels,
+		Update:       h.Update,
+		UpdateWeight: h.UpdateWeight,
+	}
+}
+
+// backend resolves the header's progressive-codec backend.
+func (h *Header) backend() (codec.ProgressiveCodec, error) {
+	c, err := codec.ByID(h.Codec())
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return c, nil
+}
+
+// codecOptions converts compression config into the backend-agnostic
+// transform options.
+func codecOptions(o decompose.Options) codec.Options {
+	return codec.Options{Levels: o.Levels, Update: o.Update, UpdateWeight: o.UpdateWeight}
+}
+
 // LevelInfos adapts the header for the retrieval planner.
 func (h *Header) LevelInfos() []retrieval.LevelInfo {
 	infos := make([]retrieval.LevelInfo, len(h.Levels))
@@ -146,9 +201,13 @@ func (h *Header) LevelInfos() []retrieval.LevelInfo {
 // of magnitude below the requested bound — is the overhead the paper's
 // models remove.
 func (h *Header) TheoryEstimator() retrieval.TheoryEstimator {
-	return retrieval.TheoryEstimator{
-		C: h.DecomposeOptions().NaiveErrorAmplification(len(h.Dims)),
+	b, err := h.backend()
+	if err != nil {
+		// An unknown backend cannot be decoded anyway; fall back to the
+		// lifting math so the estimator itself never fails.
+		return retrieval.TheoryEstimator{C: h.DecomposeOptions().NaiveErrorAmplification(len(h.Dims))}
 	}
+	return retrieval.TheoryEstimator{C: b.NaiveAmplification(h.CodecOptions(), len(h.Dims))}
 }
 
 // TightEstimator returns the sharper analytical bound (per-level
@@ -156,9 +215,11 @@ func (h *Header) TheoryEstimator() retrieval.TheoryEstimator {
 // by the constant ablation to separate "better constant" gains from
 // "learned per-level constants" gains.
 func (h *Header) TightEstimator() retrieval.TheoryEstimator {
-	return retrieval.TheoryEstimator{
-		C: h.DecomposeOptions().ErrorAmplification(len(h.Dims)),
+	b, err := h.backend()
+	if err != nil {
+		return retrieval.TheoryEstimator{C: h.DecomposeOptions().ErrorAmplification(len(h.Dims))}
 	}
+	return retrieval.TheoryEstimator{C: b.TightAmplification(h.CodecOptions(), len(h.Dims))}
 }
 
 // AbsTolerance converts a relative error bound to an absolute tolerance
@@ -198,7 +259,11 @@ func Compress(t *grid.Tensor, cfg Config, fieldName string, timestep int) (*Comp
 	root := o.Span("compress", nil)
 	root.SetAttr("field", fieldName)
 	defer root.End()
-	dec, err := decompose.DecomposeObs(t, cfg.Decompose, workers, o)
+	backend, err := codec.ByID(cfg.Backend)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	dec, err := backend.Decompose(t, codecOptions(cfg.Decompose), workers, o)
 	if err != nil {
 		return nil, fmt.Errorf("core: decompose: %w", err)
 	}
@@ -213,13 +278,19 @@ func Compress(t *grid.Tensor, cfg Config, fieldName string, timestep int) (*Comp
 		UpdateWeight:    cfg.Decompose.UpdateWeight,
 		ValueRange:      t.Range(),
 	}
+	// Pre-interface headers carry no codec tag; keeping the default
+	// backend's tag empty keeps its JSON — and hence its artifacts —
+	// byte-identical to theirs.
+	if id := backend.ID(); id != codec.DefaultID {
+		h.CodecID = id
+	}
 	for l := 0; l < dec.Levels(); l++ {
 		h.LevelPools = append(h.LevelPools, features.PoolLevel(dec.Coeffs(l), cfg.PoolSize))
 	}
 	c := &Compressed{segments: make([][][]byte, dec.Levels())}
 	var bytesOut int64
 	for l := 0; l < dec.Levels(); l++ {
-		enc, err := bitplane.EncodeLevelObs(dec.Coeffs(l), cfg.Planes, workers, o)
+		enc, err := backend.EncodeLevel(dec.Coeffs(l), cfg.Planes, workers, o)
 		if err != nil {
 			return nil, fmt.Errorf("core: encode level %d: %w", l, err)
 		}
@@ -378,7 +449,7 @@ type planeJob struct{ level, plane int }
 // pre-sized slot for its (level, plane), and on failure the error of the
 // lowest (level, plane) in fetch order is returned, so behavior is
 // identical for every worker count.
-func fetchLevels(h *Header, src SegmentSource, plan retrieval.Plan, dec *decompose.Decomposition, upTo, workers int) error {
+func fetchLevels(h *Header, src SegmentSource, plan retrieval.Plan, dec codec.Decomposition, upTo, workers int) error {
 	return fetchLevelsCtx(context.Background(), h, src, plan, dec, upTo, workers, nil)
 }
 
@@ -387,7 +458,7 @@ func fetchLevels(h *Header, src SegmentSource, plan retrieval.Plan, dec *decompo
 // "lossless.decompress" child spans, per-level core.fetch.level<l>.bytes /
 // .planes counters (plus totals), and pool task metrics under
 // pool.fetch.*. A nil o is exactly fetchLevels.
-func fetchLevelsObs(h *Header, src SegmentSource, plan retrieval.Plan, dec *decompose.Decomposition, upTo, workers int, o *obs.Obs) error {
+func fetchLevelsObs(h *Header, src SegmentSource, plan retrieval.Plan, dec codec.Decomposition, upTo, workers int, o *obs.Obs) error {
 	return fetchLevelsCtx(context.Background(), h, src, plan, dec, upTo, workers, o)
 }
 
@@ -395,8 +466,12 @@ func fetchLevelsObs(h *Header, src SegmentSource, plan retrieval.Plan, dec *deco
 // plane fetch is dispatched and in-flight reads are cancelled through the
 // source's ContextSource hook when it has one. A non-cancellable ctx is
 // exactly fetchLevelsObs.
-func fetchLevelsCtx(ctx context.Context, h *Header, src SegmentSource, plan retrieval.Plan, dec *decompose.Decomposition, upTo, workers int, o *obs.Obs) error {
-	codec, err := lossless.ByName(h.CodecName)
+func fetchLevelsCtx(ctx context.Context, h *Header, src SegmentSource, plan retrieval.Plan, dec codec.Decomposition, upTo, workers int, o *obs.Obs) error {
+	lc, err := lossless.ByName(h.CodecName)
+	if err != nil {
+		return err
+	}
+	backend, err := h.backend()
 	if err != nil {
 		return err
 	}
@@ -445,7 +520,7 @@ func fetchLevelsCtx(ctx context.Context, h *Header, src SegmentSource, plan retr
 			return err
 		}
 		dsp := o.Span("lossless.decompress", fetchSpan)
-		raw, err := codec.Decompress(seg, h.Levels[j.level].RawPlaneSize)
+		raw, err := lc.Decompress(seg, h.Levels[j.level].RawPlaneSize)
 		dsp.End()
 		if err != nil {
 			return fmt.Errorf("core: level %d plane %d: %w", j.level, j.plane, err)
@@ -464,7 +539,7 @@ func fetchLevelsCtx(ctx context.Context, h *Header, src SegmentSource, plan retr
 		return err
 	}
 	for l := 0; l <= upTo; l++ {
-		encs[l].DecodePartialObs(plan.Planes[l], dec.Coeffs(l), workers, o)
+		backend.DecodeLevel(encs[l], plan.Planes[l], dec.Coeffs(l), workers, o)
 	}
 	return nil
 }
@@ -503,7 +578,11 @@ func RetrieveWorkersCtx(ctx context.Context, h *Header, src SegmentSource, plan 
 	root.SetAttr("bytes_planned", plan.Bytes)
 	defer root.End()
 	workers = pool.Clamp(workers)
-	dec, err := decompose.NewZeroWorkers(h.Dims, h.DecomposeOptions(), workers)
+	backend, err := h.backend()
+	if err != nil {
+		return nil, err
+	}
+	dec, err := backend.NewZero(h.Dims, h.CodecOptions(), workers)
 	if err != nil {
 		return nil, err
 	}
@@ -581,7 +660,11 @@ func RetrieveResolution(h *Header, src SegmentSource, planes []int, upTo int) (*
 		return nil, retrieval.Plan{}, err
 	}
 	workers := pool.Clamp(0)
-	dec, err := decompose.NewZeroWorkers(h.Dims, h.DecomposeOptions(), workers)
+	backend, err := h.backend()
+	if err != nil {
+		return nil, retrieval.Plan{}, err
+	}
+	dec, err := backend.NewZero(h.Dims, h.CodecOptions(), workers)
 	if err != nil {
 		return nil, retrieval.Plan{}, err
 	}

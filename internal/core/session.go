@@ -6,7 +6,7 @@ import (
 	"sync"
 
 	"pmgard/internal/bitplane"
-	"pmgard/internal/decompose"
+	"pmgard/internal/codec"
 	"pmgard/internal/grid"
 	"pmgard/internal/lossless"
 	"pmgard/internal/obs"
@@ -31,7 +31,10 @@ type Session struct {
 	header *Header
 	src    SegmentSource
 	codec  lossless.Codec
-	dec    *decompose.Decomposition
+	// backend is the progressive codec named by the header; dec is its
+	// zero-initialized decomposition the fetched planes decode into.
+	backend codec.ProgressiveCodec
+	dec     codec.Decomposition
 	// cache, when non-nil, is consulted before src for decompressed planes;
 	// shareID namespaces this session's planes within it.
 	cache   *servecache.Cache
@@ -64,11 +67,15 @@ func (s *Session) Instrument(o *obs.Obs) {
 
 // NewSession opens a progressive retrieval session over a compressed field.
 func NewSession(h *Header, src SegmentSource) (*Session, error) {
-	codec, err := lossless.ByName(h.CodecName)
+	lc, err := lossless.ByName(h.CodecName)
 	if err != nil {
 		return nil, err
 	}
-	dec, err := decompose.NewZero(h.Dims, h.DecomposeOptions())
+	backend, err := h.backend()
+	if err != nil {
+		return nil, err
+	}
+	dec, err := backend.NewZero(h.Dims, h.CodecOptions(), 0)
 	if err != nil {
 		return nil, err
 	}
@@ -79,7 +86,8 @@ func NewSession(h *Header, src SegmentSource) (*Session, error) {
 	return &Session{
 		header:     h,
 		src:        src,
-		codec:      codec,
+		codec:      lc,
+		backend:    backend,
 		dec:        dec,
 		fetched:    make([]int, len(h.Levels)),
 		planes:     planes,
@@ -235,7 +243,7 @@ func (s *Session) fetchPlane(ctx context.Context, l, k int) ([]byte, int64, erro
 	if s.cache == nil {
 		return s.fetchPlaneStore(ctx, l, k)
 	}
-	key := servecache.Key{Field: s.shareID, Level: l, Plane: k}
+	key := servecache.Key{Codec: s.header.Codec(), Field: s.shareID, Level: l, Plane: k}
 	if ctx.Done() == nil {
 		raw, payload, _, err := s.cache.GetOrFetchFrom(key, (*planeFetcher)(s))
 		return raw, payload, err
@@ -380,7 +388,7 @@ func (s *Session) reconstruct() (*grid.Tensor, error) {
 	for l, lm := range s.header.Levels {
 		enc := &s.encScratch[l]
 		enc.N, enc.Planes, enc.Exponent, enc.Bits = lm.N, s.header.Planes, lm.Exponent, s.planes[l]
-		enc.DecodePartial(s.fetched[l], s.dec.Coeffs(l))
+		s.backend.DecodeLevel(enc, s.fetched[l], s.dec.Coeffs(l), 1, s.o)
 	}
 	return s.dec.Recompose(), nil
 }

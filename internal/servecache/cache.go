@@ -28,11 +28,16 @@ import (
 	"pmgard/internal/obs"
 )
 
-// Key identifies one cached plane. Field namespaces the (level, plane)
-// coordinates — two stores serving different fields (or different timesteps
-// of the same field) must use distinct Field strings or they will share
-// entries.
+// Key identifies one cached plane. Codec and Field together namespace the
+// (level, plane) coordinates — two stores serving different fields (or
+// different timesteps of the same field) must use distinct Field strings,
+// and the same field refactored by two progressive-codec backends must use
+// distinct Codec strings, or they will share entries.
 type Key struct {
+	// Codec is the progressive-codec backend ID the plane was produced by
+	// ("mgard", "interp"). Sessions fill it from the artifact header, so two
+	// backends serving the same field name can never collide.
+	Codec string
 	// Field is the cache namespace, typically "<field>@<timestep>".
 	Field string
 	// Level is the coefficient level of the plane.

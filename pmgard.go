@@ -22,6 +22,7 @@ import (
 	"context"
 
 	"pmgard/internal/bufpool"
+	"pmgard/internal/codec"
 	"pmgard/internal/core"
 	"pmgard/internal/dataset"
 	"pmgard/internal/decompose"
@@ -55,6 +56,40 @@ type DecomposeOptions = decompose.Options
 // DefaultConfig mirrors the paper's setup: five coefficient levels, 32
 // nega-binary bit-planes per level, DEFLATE for the lossless stage.
 func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultBackend is the progressive-codec backend used when Config.Backend
+// is empty: the MGARD-style multilevel lifting decomposition. Artifacts it
+// produces stay byte-identical to pre-codec-interface pmgard output.
+const DefaultBackend = codec.DefaultID
+
+// Backends returns the registered progressive-codec backend IDs, sorted.
+// Set Config.Backend to one of them to select how a field is refactored:
+// "mgard" (lifting decomposition, the default) or "interp" (multilinear
+// interpolation residuals, cheap and tight on smooth fields).
+func Backends() []string { return codec.IDs() }
+
+// ProbePoint is one tolerance of a backend probe: the smallest measured
+// retrieval prefix that reaches the bound, and its cost.
+type ProbePoint = core.ProbePoint
+
+// ProbeResult is one backend's measured probe over a field.
+type ProbeResult = core.ProbeResult
+
+// ProbeComparison is a per-field backend comparison: which backend
+// retrieves the field cheapest across the probed tolerances.
+type ProbeComparison = core.ProbeComparison
+
+// ProbeBackends compresses the field under each backend (nil = all
+// registered) and measures the smallest retrieval prefix that reaches each
+// relative bound (nil = DefaultProbeBounds). The Winner is the backend
+// cmd/serve -raw would select for the field.
+func ProbeBackends(t *Tensor, cfg Config, fieldName string, relBounds []float64, backends []string) (*ProbeComparison, error) {
+	return core.ProbeBackends(t, cfg, fieldName, relBounds, backends)
+}
+
+// DefaultProbeBounds returns the relative error bounds a backend probe
+// sweeps, loosest first.
+func DefaultProbeBounds() []float64 { return core.DefaultProbeBounds() }
 
 // Compressed is an in-memory compressed field.
 type Compressed = core.Compressed
