@@ -1,0 +1,215 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promDoc is a parsed Prometheus text exposition: the declared metric
+// types plus the samples grouped by metric, enough to validate that the
+// document is well-formed and that required metrics exist and moved.
+type promDoc struct {
+	// types maps metric name -> counter|gauge|histogram|summary|untyped.
+	types map[string]string
+	// values maps a plain (counter/gauge) sample name to its value.
+	values map[string]float64
+	// histCount maps histogram name -> its _count value.
+	histCount map[string]float64
+	// histBuckets maps histogram name -> cumulative bucket values in
+	// document order.
+	histBuckets map[string][]promBucket
+}
+
+type promBucket struct {
+	le  string
+	cum float64
+}
+
+// has reports whether the document declares or samples a metric name.
+func (d *promDoc) has(name string) bool {
+	if _, ok := d.types[name]; ok {
+		return true
+	}
+	if _, ok := d.values[name]; ok {
+		return true
+	}
+	_, ok := d.histCount[name]
+	return ok
+}
+
+// names returns every metric name in the document, sorted, with its type.
+func (d *promDoc) names() []string {
+	out := make([]string, 0, len(d.types))
+	for name := range d.types {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// parsePromText parses and validates a Prometheus text exposition. It is a
+// format checker, not a full scrape client: it enforces the line grammar
+// (TYPE comments, `name[{labels}] value [# exemplar]` samples), sample
+// values that parse as floats, histogram series that trace back to a
+// declared histogram, cumulative bucket monotonicity, and +Inf bucket ==
+// _count agreement.
+func parsePromText(data string) (*promDoc, error) {
+	doc := &promDoc{
+		types:       make(map[string]string),
+		values:      make(map[string]float64),
+		histCount:   make(map[string]float64),
+		histBuckets: make(map[string][]promBucket),
+	}
+	for ln, line := range strings.Split(data, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			// Only TYPE comments carry structure; HELP and free comments pass.
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				name, kind := fields[2], fields[3]
+				if !validPromName(name) {
+					return nil, fmt.Errorf("line %d: bad metric name %q in TYPE", ln+1, name)
+				}
+				switch kind {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown metric type %q", ln+1, kind)
+				}
+				if _, dup := doc.types[name]; dup {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %s", ln+1, name)
+				}
+				doc.types[name] = kind
+			}
+			continue
+		}
+		if err := doc.addSample(line, ln+1); err != nil {
+			return nil, err
+		}
+	}
+	for name, buckets := range doc.histBuckets {
+		if err := checkBuckets(name, buckets, doc.histCount); err != nil {
+			return nil, err
+		}
+	}
+	return doc, nil
+}
+
+// addSample parses one sample line into the document.
+func (d *promDoc) addSample(line string, ln int) error {
+	// OpenMetrics exemplars trail the value after " # ".
+	if ix := strings.Index(line, " # "); ix >= 0 {
+		line = strings.TrimSpace(line[:ix])
+	}
+	name := line
+	labels := ""
+	rest := ""
+	if ix := strings.IndexByte(line, '{'); ix >= 0 {
+		end := strings.IndexByte(line, '}')
+		if end < ix {
+			return fmt.Errorf("line %d: unterminated label set", ln)
+		}
+		name, labels, rest = line[:ix], line[ix+1:end], line[end+1:]
+	} else if ix := strings.IndexByte(line, ' '); ix >= 0 {
+		name, rest = line[:ix], line[ix:]
+	} else {
+		return fmt.Errorf("line %d: sample has no value: %q", ln, line)
+	}
+	if !validPromName(name) {
+		return fmt.Errorf("line %d: bad metric name %q", ln, name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return fmt.Errorf("line %d: sample %s has no value", ln, name)
+	}
+	// A second field would be a timestamp (legal, integer); more is not.
+	if len(fields) > 2 {
+		return fmt.Errorf("line %d: sample %s has %d trailing fields, want value [timestamp]", ln, name, len(fields))
+	}
+	value, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return fmt.Errorf("line %d: sample %s value %q: %v", ln, name, fields[0], err)
+	}
+
+	if base, ok := strings.CutSuffix(name, "_bucket"); ok && d.types[base] == "histogram" {
+		le := labelValue(labels, "le")
+		if le == "" {
+			return fmt.Errorf("line %d: histogram bucket %s lacks an le label", ln, name)
+		}
+		d.histBuckets[base] = append(d.histBuckets[base], promBucket{le: le, cum: value})
+		return nil
+	}
+	if base, ok := strings.CutSuffix(name, "_sum"); ok && d.types[base] == "histogram" {
+		return nil // sums can be any float; nothing further to check
+	}
+	if base, ok := strings.CutSuffix(name, "_count"); ok && d.types[base] == "histogram" {
+		d.histCount[base] = value
+		return nil
+	}
+	if d.types[name] == "" {
+		return fmt.Errorf("line %d: sample %s has no TYPE declaration", ln, name)
+	}
+	d.values[name] = value
+	return nil
+}
+
+// checkBuckets validates one histogram's bucket series: cumulative counts
+// never decrease, the series ends with le="+Inf", and the +Inf bucket
+// agrees with the _count sample.
+func checkBuckets(name string, buckets []promBucket, counts map[string]float64) error {
+	var prev float64
+	hasInf := false
+	for _, b := range buckets {
+		if b.cum < prev {
+			return fmt.Errorf("histogram %s: bucket le=%q count %g below previous %g (not cumulative)", name, b.le, b.cum, prev)
+		}
+		prev = b.cum
+		if b.le == "+Inf" {
+			hasInf = true
+			if total, ok := counts[name]; ok && total != b.cum {
+				return fmt.Errorf("histogram %s: +Inf bucket %g != _count %g", name, b.cum, total)
+			}
+		}
+	}
+	if !hasInf {
+		return fmt.Errorf("histogram %s: no le=\"+Inf\" bucket", name)
+	}
+	if _, ok := counts[name]; !ok {
+		return fmt.Errorf("histogram %s: no _count sample", name)
+	}
+	return nil
+}
+
+// labelValue extracts one label's (unquoted) value from a label body like
+// `le="0.25",job="x"`.
+func labelValue(labels, key string) string {
+	for _, pair := range strings.Split(labels, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || k != key {
+			continue
+		}
+		return strings.Trim(v, `"`)
+	}
+	return ""
+}
+
+// validPromName reports whether name fits the Prometheus metric name
+// charset [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validPromName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

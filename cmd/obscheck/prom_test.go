@@ -1,0 +1,125 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const validPromDoc = `# HELP serve_refines Total refines served.
+# TYPE serve_refines counter
+serve_refines 7
+# TYPE servecache_bytes gauge
+servecache_bytes 1234.5
+# TYPE serve_refine_seconds histogram
+serve_refine_seconds_bucket{le="0.1"} 1
+serve_refine_seconds_bucket{le="1"} 2 # {trace_id="deadbeefdeadbeefdeadbeefdeadbeef"} 0.5
+serve_refine_seconds_bucket{le="+Inf"} 3
+serve_refine_seconds_sum 5.55
+serve_refine_seconds_count 3
+`
+
+func TestParsePromTextValid(t *testing.T) {
+	doc, err := parsePromText(validPromDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.types["serve_refines"] != "counter" || doc.values["serve_refines"] != 7 {
+		t.Fatalf("counter parsed as %q/%g", doc.types["serve_refines"], doc.values["serve_refines"])
+	}
+	if doc.values["servecache_bytes"] != 1234.5 {
+		t.Fatalf("gauge value %g", doc.values["servecache_bytes"])
+	}
+	if doc.histCount["serve_refine_seconds"] != 3 {
+		t.Fatalf("_count %g", doc.histCount["serve_refine_seconds"])
+	}
+	buckets := doc.histBuckets["serve_refine_seconds"]
+	if len(buckets) != 3 || buckets[1].le != "1" || buckets[1].cum != 2 {
+		t.Fatalf("buckets parsed as %+v (exemplar not stripped?)", buckets)
+	}
+	for _, name := range []string{"serve_refines", "servecache_bytes", "serve_refine_seconds"} {
+		if !doc.has(name) {
+			t.Errorf("has(%q) = false", name)
+		}
+	}
+	if doc.has("never_exported") {
+		t.Error("has reports an absent metric")
+	}
+	if names := doc.names(); len(names) != 3 || names[0] != "serve_refine_seconds" {
+		t.Errorf("names() = %v", names)
+	}
+}
+
+func TestParsePromTextRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"non-cumulative buckets": `# TYPE h histogram
+h_bucket{le="1"} 5
+h_bucket{le="+Inf"} 3
+h_count 3
+`,
+		"missing +Inf bucket": `# TYPE h histogram
+h_bucket{le="1"} 2
+h_count 2
+`,
+		"+Inf disagrees with _count": `# TYPE h histogram
+h_bucket{le="+Inf"} 3
+h_count 4
+`,
+		"histogram without _count": `# TYPE h histogram
+h_bucket{le="+Inf"} 3
+`,
+		"bucket without le label": `# TYPE h histogram
+h_bucket{job="x"} 3
+h_count 3
+`,
+		"sample without TYPE":  "orphan_metric 1\n",
+		"sample without value": "# TYPE c counter\nc\n",
+		"unparsable value":     "# TYPE c counter\nc banana\n",
+		"too many fields":      "# TYPE c counter\nc 1 2 3\n",
+		"bad metric name":      "# TYPE c counter\n9bad-name 1\n",
+		"bad name in TYPE":     "# TYPE bad-name counter\n",
+		"unknown type":         "# TYPE c sausage\n",
+		"duplicate TYPE":       "# TYPE c counter\n# TYPE c gauge\n",
+		"unterminated labels":  "# TYPE c counter\nc{a=\"b\" 1\n",
+	}
+	for what, doc := range cases {
+		if _, err := parsePromText(doc); err == nil {
+			t.Errorf("%s: parsed without error:\n%s", what, doc)
+		}
+	}
+}
+
+func TestParsePromTextTolerates(t *testing.T) {
+	// Timestamps, HELP and free comments, and blank lines are all legal.
+	doc, err := parsePromText(`
+# HELP c helpful text
+# a free comment
+# TYPE c counter
+c 41 1700000000000
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.values["c"] != 41 {
+		t.Fatalf("timestamped sample value %g", doc.values["c"])
+	}
+}
+
+func TestRunPromRequireAndNonzero(t *testing.T) {
+	// runProm matches -require/-nonzero names given in dotted registry form
+	// against their sanitized exposition names.
+	if code := runProm("test", validPromDoc, "serve.refines,servecache.bytes,serve.refine_seconds", "serve.refines", false); code != 0 {
+		t.Fatalf("valid doc with satisfied requirements exited %d", code)
+	}
+	if code := runProm("test", validPromDoc, "serve.missing_metric", "", false); code == 0 {
+		t.Fatal("missing -require name passed")
+	}
+	if code := runProm("test", validPromDoc, "", "servecache.bytes", false); code == 0 {
+		t.Fatal("-nonzero accepted a gauge (must be a counter)")
+	}
+	if code := runProm("test", "# TYPE c counter\nc 0\n", "", "c", false); code == 0 {
+		t.Fatal("-nonzero accepted a zero counter")
+	}
+	if code := runProm("test", strings.Replace(validPromDoc, `le="+Inf"} 3`, `le="+Inf"} 2`, 1), "", "", false); code == 0 {
+		t.Fatal("inconsistent histogram passed")
+	}
+}

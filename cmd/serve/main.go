@@ -13,6 +13,7 @@
 //	      [-request-timeout 30s] [-drain-timeout 10s]
 //	      [-max-inflight 0] [-max-queue 0]
 //	      [-breaker-failures 5] [-breaker-cooldown 2s]
+//	      [-access-log path|stdout|stderr] [-log-level info] [-slo-latency 1s]
 //	      [-metrics-out metrics.json] [-trace-out trace.json] [-debug-addr addr]
 //
 // Raw .field inputs are probed at startup: every registered progressive
@@ -30,9 +31,19 @@
 //	                                   timeout= parameter caps the request
 //	                                   deadline below -request-timeout
 //	GET /metrics                     — live metrics snapshot JSON
+//	                                   (?format=prom for Prometheus text)
 //	GET /healthz                     — liveness probe (process is up)
 //	GET /readyz                      — readiness probe (fields probed
 //	                                   readable at startup, not draining)
+//	GET /debug/obs                   — metrics + stage table + slowest requests
+//	GET /debug/obs/trace?id=...      — one retained request's span tree
+//
+// Every API request is traced: an inbound W3C traceparent header is
+// honoured (a fresh trace is minted otherwise), the response carries the
+// traceparent naming the server's root span, stage spans from admission
+// through cache, storage and decode record into a per-request span tree
+// retained for /debug/obs/trace, and -access-log writes one structured
+// JSON line per request carrying the same trace id.
 //
 // The serving tier is hardened for production failure modes: every refine
 // carries a deadline that propagates through the session, cache singleflight
@@ -55,6 +66,8 @@ import (
 	"flag"
 	"fmt"
 	"hash/crc32"
+	"io"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
@@ -98,11 +111,21 @@ func run(args []string) error {
 	maxQueue := fs.Int("max-queue", 0, "max refines waiting for an inflight slot before shedding with 503")
 	breakerFailures := fs.Int("breaker-failures", 5, "consecutive store failures that open a field's circuit breaker (0 = no breaker)")
 	breakerCooldown := fs.Duration("breaker-cooldown", 2*time.Second, "open-state cooldown before the breaker probes the store again")
+	accessLog := fs.String("access-log", "", "structured JSON access log destination: a file path, \"stdout\" or \"stderr\" (empty = disabled)")
+	logLevel := fs.String("log-level", "info", "minimum access-log level: debug, info, warn or error")
+	sloLatency := fs.Duration("slo-latency", time.Second, "refine latency objective for the serve.slo_good/serve.slo_total counters (0 disables SLO accounting)")
 	var of obs.Flags
 	of.Register(fs)
 	fs.Parse(args)
 	if *in == "" && *tiered == "" && *raw == "" {
 		return fmt.Errorf("-in, -tiered, or -raw is required")
+	}
+	logDst, logClose, err := openAccessLog(*accessLog)
+	if err != nil {
+		return err
+	}
+	if logClose != nil {
+		defer logClose()
 	}
 	o, err := of.Start(os.Stderr)
 	if err != nil {
@@ -122,6 +145,9 @@ func run(args []string) error {
 		MaxQueue:        *maxQueue,
 		BreakerFailures: *breakerFailures,
 		BreakerCooldown: *breakerCooldown,
+		AccessLog:       logDst,
+		LogLevel:        parseLogLevel(*logLevel),
+		SLOLatency:      *sloLatency,
 		Obs:             o,
 	})
 	if err != nil {
@@ -184,6 +210,25 @@ func drainAndShutdown(srv *server, httpSrv *http.Server, drainTimeout time.Durat
 	srv.close()
 }
 
+// openAccessLog resolves the -access-log flag: "stdout"/"stderr" write to
+// the process streams, anything else is a file path opened for append, and
+// "" disables the access log entirely.
+func openAccessLog(dst string) (io.Writer, func() error, error) {
+	switch dst {
+	case "":
+		return nil, nil, nil
+	case "stdout":
+		return os.Stdout, nil, nil
+	case "stderr":
+		return os.Stderr, nil, nil
+	}
+	f, err := os.OpenFile(dst, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("access log %s: %w", dst, err)
+	}
+	return f, f.Close, nil
+}
+
 func splitList(s string) []string {
 	var out []string
 	for _, part := range strings.Split(s, ",") {
@@ -231,6 +276,14 @@ type serverConfig struct {
 	// BreakerCooldown is the open-state cooldown before half-open probing;
 	// 0 uses the resilience default.
 	BreakerCooldown time.Duration
+	// AccessLog, when non-nil, receives one structured JSON log line per
+	// API request (nil disables access logging).
+	AccessLog io.Writer
+	// LogLevel is the minimum level for access log lines.
+	LogLevel slog.Level
+	// SLOLatency is the refine latency objective behind the serve.slo_good
+	// and serve.slo_total counters (0 disables SLO accounting).
+	SLOLatency time.Duration
 	// Obs receives the server's telemetry; must be non-nil.
 	Obs *obs.Obs
 }
@@ -245,6 +298,8 @@ type server struct {
 	cache  *servecache.Cache
 	adm    *resilience.Admission
 	o      *obs.Obs
+	// logger emits the structured access log; nil disables it.
+	logger *slog.Logger
 	// draining is set when shutdown begins: /readyz flips to 503 and new
 	// refines are rejected while in-flight ones finish.
 	draining atomic.Bool
@@ -262,12 +317,20 @@ func newServer(cfg serverConfig) (*server, error) {
 	bufpool.Instrument(cfg.Obs)
 	adm := resilience.NewAdmission(cfg.MaxInflight, cfg.MaxQueue)
 	adm.Instrument(cfg.Obs, "serve")
+	// A serving process always reports its own health: /metrics carries
+	// runtime.* goroutine/heap/GC gauges alongside the pipeline metrics.
+	cfg.Obs.Metrics.EnableRuntimeMetrics()
+	var logger *slog.Logger
+	if cfg.AccessLog != nil {
+		logger = slog.New(slog.NewJSONHandler(cfg.AccessLog, &slog.HandlerOptions{Level: cfg.LogLevel}))
+	}
 	return &server{
 		cfg:    cfg,
 		fields: make(map[string]*fieldHandle),
 		cache:  cache,
 		adm:    adm,
 		o:      cfg.Obs,
+		logger: logger,
 	}, nil
 }
 
@@ -359,9 +422,11 @@ func (s *server) close() {
 	})
 }
 
-// handler returns the full middleware-wrapped API handler.
+// handler returns the full middleware-wrapped API handler: observability
+// outermost (so recovery's 500s are traced and logged too), panic recovery
+// inside it, routes at the core.
 func (s *server) handler() http.Handler {
-	return s.withRecovery(s.mux())
+	return s.withObservability(s.withRecovery(s.mux()))
 }
 
 // mux returns the API routes.
@@ -375,6 +440,8 @@ func (s *server) mux() *http.ServeMux {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/readyz", s.handleReady)
+	mux.Handle("/debug/obs", obs.Handler(s.o))
+	mux.Handle("/debug/obs/trace", obs.TraceHandler(s.o.Requests))
 	return mux
 }
 
@@ -537,23 +604,34 @@ const statusClientClosedRequest = 499
 
 func (s *server) handleRefine(w http.ResponseWriter, r *http.Request) {
 	s.o.Counter("serve.requests").Add(1)
+	ar := accessFrom(r.Context())
 	if s.draining.Load() {
+		ar.setOutcome("draining")
 		s.failDetail(w, http.StatusServiceUnavailable, fmt.Errorf("server is draining"), "draining")
 		return
 	}
 	fh, _, err := s.lookup(r)
 	if err != nil {
+		ar.setOutcome("not_found")
 		s.fail(w, http.StatusNotFound, err)
 		return
 	}
 	h := fh.header
+	if ar != nil {
+		ar.field = h.FieldName
+	}
 	tol, err := parseTolerance(r, h)
 	if err != nil {
+		ar.setOutcome("bad_request")
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
+	if ar != nil {
+		ar.tol = tol
+	}
 	timeout, err := requestDeadline(r, s.cfg.RequestTimeout)
 	if err != nil {
+		ar.setOutcome("bad_request")
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
@@ -563,9 +641,12 @@ func (s *server) handleRefine(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
+	asp := obs.SpanFromContext(ctx).Child("serve.admission")
 	release, err := s.adm.Acquire(ctx)
+	asp.Fail(err)
+	asp.End()
 	if err != nil {
-		s.failRefine(w, err)
+		s.failRefine(w, ar, err)
 		return
 	}
 	defer release()
@@ -573,18 +654,27 @@ func (s *server) handleRefine(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	sess, err := core.NewSharedSession(h, core.SharedSource{Src: fh.src, Cache: s.cache})
 	if err != nil {
+		ar.setOutcome("internal")
 		s.fail(w, http.StatusInternalServerError, err)
 		return
 	}
 	sess.Instrument(s.o)
 	rec, plan, deg, err := sess.RefineCtx(ctx, h.TheoryEstimator(), tol)
+	if ar != nil {
+		ar.bytes = sess.BytesFetched()
+		ar.hits = sess.CacheHits()
+	}
 	if err != nil {
-		s.failRefine(w, fmt.Errorf("refine: %w", err))
+		s.failRefine(w, ar, fmt.Errorf("refine: %w", err))
 		return
 	}
 	elapsed := time.Since(start).Seconds()
+	if ar != nil {
+		ar.degraded = deg != nil
+	}
+	tc, _ := obs.TraceFromContext(ctx)
 	s.o.Counter("serve.refines").Add(1)
-	s.o.Histogram("serve.refine_seconds", obs.LatencyBuckets()).Observe(elapsed)
+	s.o.Histogram("serve.refine_seconds", obs.LatencyBuckets()).ObserveExemplar(elapsed, tc.TraceID)
 	s.writeJSON(w, refineResponse{
 		Field:          h.FieldName,
 		Tolerance:      tol,
@@ -600,20 +690,25 @@ func (s *server) handleRefine(w http.ResponseWriter, r *http.Request) {
 // failRefine maps a refine failure to its transport meaning: the request's
 // own deadline expiring is a 504, overload shedding and an open breaker are
 // retryable 503s, a client disconnect is 499, and only genuine upstream
-// store faults surface as 502.
-func (s *server) failRefine(w http.ResponseWriter, err error) {
+// store faults surface as 502. The chosen tag also lands on the access
+// record, so the log line names the failure mode, not just the status.
+func (s *server) failRefine(w http.ResponseWriter, ar *accessRecord, err error) {
+	var code int
+	var detail string
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		s.failDetail(w, http.StatusGatewayTimeout, err, "deadline")
+		code, detail = http.StatusGatewayTimeout, "deadline"
 	case errors.Is(err, resilience.ErrShed):
-		s.failDetail(w, http.StatusServiceUnavailable, err, "shed")
+		code, detail = http.StatusServiceUnavailable, "shed"
 	case errors.Is(err, resilience.ErrOpen):
-		s.failDetail(w, http.StatusServiceUnavailable, err, "breaker_open")
+		code, detail = http.StatusServiceUnavailable, "breaker_open"
 	case errors.Is(err, context.Canceled):
-		s.failDetail(w, statusClientClosedRequest, err, "client_gone")
+		code, detail = statusClientClosedRequest, "client_gone"
 	default:
-		s.failDetail(w, http.StatusBadGateway, err, "upstream")
+		code, detail = http.StatusBadGateway, "upstream"
 	}
+	ar.setOutcome(detail)
+	s.failDetail(w, code, err, detail)
 }
 
 // requestDeadline resolves the effective refine deadline: the server's
@@ -665,8 +760,13 @@ func tensorChecksum(t *grid.Tensor) string {
 	return fmt.Sprintf("%08x", h.Sum32())
 }
 
-func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.o.Counter("serve.requests").Add(1)
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", obs.PromContentType)
+		s.o.Metrics.WritePrometheus(w)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	s.o.Metrics.WriteJSON(w)
 }

@@ -48,6 +48,9 @@ type Session struct {
 	// bytes is the cumulative payload fetched, including payloads delivered
 	// by reads that later failed to decode.
 	bytes int64
+	// cacheHits counts planes this session obtained from the shared cache
+	// without a store fetch (always 0 without a cache).
+	cacheHits int64
 	// encScratch holds one reusable LevelEncoding shell per level, so
 	// reconstruct does not allocate encoding headers on every refinement.
 	encScratch []bitplane.LevelEncoding
@@ -148,6 +151,14 @@ func (s *Session) BytesFetched() int64 {
 	return s.bytes
 }
 
+// CacheHits returns how many planes this session obtained from the shared
+// cache without a store fetch (always 0 for an unshared session).
+func (s *Session) CacheHits() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cacheHits
+}
+
 // Degradation reports a degraded-mode refinement: planes the plan wanted
 // but could not have because the store lost them permanently. The session
 // falls back to the deepest consistent plane prefix per level — planes are
@@ -196,14 +207,27 @@ func (s *Session) RefineToCtx(ctx context.Context, target []int) (*grid.Tensor, 
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	sp := s.o.Span("session.refine_to", nil)
+	sp := s.startSpan(ctx, "session.refine_to")
 	defer sp.End()
+	ctx = obs.ContextWithSpan(ctx, sp)
 	for l, want := range target {
 		if err := s.fetchLevel(ctx, l, want); err != nil {
+			sp.Fail(err)
 			return nil, err
 		}
 	}
-	return s.reconstruct()
+	return s.reconstruct(ctx)
+}
+
+// startSpan opens a session-stage span: a child of the request span carried
+// by ctx when there is one (the serving tier's per-request trace), otherwise
+// a root span in the instrumented tracer (batch pipelines with -trace-out).
+// Nil when neither applies, so the uninstrumented path pays one ctx lookup.
+func (s *Session) startSpan(ctx context.Context, name string) *obs.Span {
+	if parent := obs.SpanFromContext(ctx); parent != nil {
+		return parent.Child(name)
+	}
+	return s.o.Span(name, nil)
 }
 
 // fetchLevel extends level l's fetched plane prefix to want planes,
@@ -215,16 +239,38 @@ func (s *Session) RefineToCtx(ctx context.Context, target []int) (*grid.Tensor, 
 // truncation), or a partial payload returned alongside an error, moved real
 // bytes off the store even though the plane was never decoded.
 func (s *Session) fetchLevel(ctx context.Context, l, want int) error {
+	if want <= s.fetched[l] {
+		return nil
+	}
+	sp := obs.SpanFromContext(ctx).Child("session.fetch_level")
+	defer sp.End()
+	ctx = obs.ContextWithSpan(ctx, sp)
+	sp.SetAttr("level", l)
+	var levelBytes, levelHits int64
+	planesFetched := 0
+	defer func() {
+		sp.SetAttr("planes", planesFetched)
+		sp.SetAttr("bytes", levelBytes)
+		sp.SetAttr("cache_hits", levelHits)
+	}()
 	for k := s.fetched[l]; k < want; k++ {
-		raw, payload, err := s.fetchPlane(ctx, l, k)
+		raw, payload, hit, err := s.fetchPlane(ctx, l, k)
 		if err != nil {
 			s.bytes += payload
+			levelBytes += payload
 			s.o.Counter("core.session.bytes_wasted").Add(payload)
+			sp.Fail(err)
 			return err
 		}
 		s.planes[l][k] = raw
 		s.bytes += payload
 		s.fetched[l] = k + 1
+		levelBytes += payload
+		planesFetched++
+		if hit {
+			s.cacheHits++
+			levelHits++
+		}
 		if s.o != nil {
 			s.o.Counter(fmt.Sprintf("core.session.level%d.bytes_fetched", l)).Add(payload)
 			s.o.Counter(fmt.Sprintf("core.session.level%d.planes_fetched", l)).Add(1)
@@ -236,20 +282,20 @@ func (s *Session) fetchLevel(ctx context.Context, l, want int) error {
 }
 
 // fetchPlane materializes one decompressed plane, through the shared cache
-// when the session has one. It returns the plane bitset and the compressed
-// payload bytes the plane's fetch moved; on error the payload is the bytes
-// a failed transfer still delivered (counted as wasted by the caller).
-func (s *Session) fetchPlane(ctx context.Context, l, k int) ([]byte, int64, error) {
+// when the session has one. It returns the plane bitset, the compressed
+// payload bytes the plane's fetch moved, and whether the plane came out of
+// the shared cache without a fetch; on error the payload is the bytes a
+// failed transfer still delivered (counted as wasted by the caller).
+func (s *Session) fetchPlane(ctx context.Context, l, k int) ([]byte, int64, bool, error) {
 	if s.cache == nil {
-		return s.fetchPlaneStore(ctx, l, k)
+		raw, payload, err := s.fetchPlaneStore(ctx, l, k)
+		return raw, payload, false, err
 	}
 	key := servecache.Key{Codec: s.header.Codec(), Field: s.shareID, Level: l, Plane: k}
 	if ctx.Done() == nil {
-		raw, payload, _, err := s.cache.GetOrFetchFrom(key, (*planeFetcher)(s))
-		return raw, payload, err
+		return s.cache.GetOrFetchFrom(key, (*planeFetcher)(s))
 	}
-	raw, payload, _, err := s.cache.GetOrFetchFromCtx(ctx, key, (*planeFetcher)(s))
-	return raw, payload, err
+	return s.cache.GetOrFetchFromCtx(ctx, key, (*planeFetcher)(s))
 }
 
 // planeFetcher adapts a Session to servecache.Source: a pointer conversion
@@ -276,17 +322,27 @@ func (p *planeFetcher) FetchPlaneCtx(ctx context.Context, key servecache.Key) ([
 // plausible plane, and accepting it would silently desynchronize
 // BytesFetched from the manifest-derived plan costs.
 func (s *Session) fetchPlaneStore(ctx context.Context, l, k int) ([]byte, int64, error) {
+	sp := obs.SpanFromContext(ctx).Child("session.fetch_plane")
+	defer sp.End()
+	sp.SetAttr("level", l)
+	sp.SetAttr("plane", k)
 	seg, err := readSegment(ctx, s.src, l, k)
+	sp.SetAttr("bytes", len(seg))
 	if err != nil {
+		sp.Fail(err)
 		return nil, int64(len(seg)), err
 	}
 	if want := s.header.Levels[l].PlaneSizes[k]; int64(len(seg)) != want {
-		return nil, int64(len(seg)), fmt.Errorf("core: session level %d plane %d payload is %d bytes, manifest says %d: %w",
+		err := fmt.Errorf("core: session level %d plane %d payload is %d bytes, manifest says %d: %w",
 			l, k, len(seg), want, storage.ErrCorrupt)
+		sp.Fail(err)
+		return nil, int64(len(seg)), err
 	}
 	raw, err := s.codec.Decompress(seg, s.header.Levels[l].RawPlaneSize)
 	if err != nil {
-		return nil, int64(len(seg)), fmt.Errorf("core: session level %d plane %d: %w", l, k, err)
+		err = fmt.Errorf("core: session level %d plane %d: %w", l, k, err)
+		sp.Fail(err)
+		return nil, int64(len(seg)), err
 	}
 	return raw, int64(len(seg)), nil
 }
@@ -316,11 +372,13 @@ func (s *Session) Refine(est retrieval.ErrorEstimator, tol float64) (*grid.Tenso
 func (s *Session) RefineCtx(ctx context.Context, est retrieval.ErrorEstimator, tol float64) (*grid.Tensor, retrieval.Plan, *Degradation, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	sp := s.o.Span("session.refine", nil)
+	sp := s.startSpan(ctx, "session.refine")
 	sp.SetAttr("tol", tol)
 	defer sp.End()
+	ctx = obs.ContextWithSpan(ctx, sp)
 	plan, err := retrieval.GreedyPlanObs(s.header.LevelInfos(), est, tol, s.o)
 	if err != nil {
+		sp.Fail(err)
 		return nil, retrieval.Plan{}, nil, err
 	}
 	target := plan.Planes
@@ -334,6 +392,7 @@ func (s *Session) RefineCtx(ctx context.Context, est retrieval.ErrorEstimator, t
 	for l, want := range target {
 		if err := s.fetchLevel(ctx, l, want); err != nil {
 			if storage.Classify(err) != storage.FaultPermanent {
+				sp.Fail(err)
 				return nil, retrieval.Plan{}, nil, err
 			}
 			// fetchLevel stopped at the first unavailable plane; the level's
@@ -351,8 +410,9 @@ func (s *Session) RefineCtx(ctx context.Context, est retrieval.ErrorEstimator, t
 		levelErrs[l] = lm.ErrMatrix[target[l]]
 	}
 	exec.EstimatedError = est.Estimate(levelErrs)
-	rec, err := s.reconstruct()
+	rec, err := s.reconstruct(ctx)
 	if err != nil {
+		sp.Fail(err)
 		return nil, retrieval.Plan{}, nil, err
 	}
 	var deg *Degradation
@@ -384,11 +444,17 @@ func (s *Session) RefineCtx(ctx context.Context, est retrieval.ErrorEstimator, t
 
 // reconstruct decodes the fetched planes and recomposes the field. s.mu
 // must be held.
-func (s *Session) reconstruct() (*grid.Tensor, error) {
+func (s *Session) reconstruct(ctx context.Context) (*grid.Tensor, error) {
+	parent := obs.SpanFromContext(ctx)
+	dsp := parent.Child("session.decode")
 	for l, lm := range s.header.Levels {
 		enc := &s.encScratch[l]
 		enc.N, enc.Planes, enc.Exponent, enc.Bits = lm.N, s.header.Planes, lm.Exponent, s.planes[l]
 		s.backend.DecodeLevel(enc, s.fetched[l], s.dec.Coeffs(l), 1, s.o)
 	}
-	return s.dec.Recompose(), nil
+	dsp.End()
+	rsp := parent.Child("session.recompose")
+	out := s.dec.Recompose()
+	rsp.End()
+	return out, nil
 }

@@ -19,6 +19,9 @@ type DebugSnapshot struct {
 	Stages []StageStat `json:"stages"`
 	// TraceDropped counts spans lost to the trace buffer bound.
 	TraceDropped int64 `json:"trace_dropped"`
+	// Slowest lists the pinned slowest-request summaries, slowest first
+	// (full span trees via /debug/obs/trace?id=).
+	Slowest []RequestSummary `json:"slowest,omitempty"`
 }
 
 // Handler returns an http.Handler serving the DebugSnapshot of o as
@@ -30,6 +33,7 @@ func Handler(o *Obs) http.Handler {
 			snap.Metrics = o.Metrics.Snapshot()
 			snap.Stages = o.Trace.Stages()
 			snap.TraceDropped = o.Trace.Dropped()
+			snap.Slowest = o.Requests.Slowest()
 		}
 		if snap.Stages == nil {
 			snap.Stages = []StageStat{}
@@ -43,9 +47,10 @@ func Handler(o *Obs) http.Handler {
 
 // NewDebugMux returns a mux exposing the standard debug surface for o:
 //
-//	/debug/vars   — expvar (including the registry if published there)
-//	/debug/pprof  — net/http/pprof profiles
-//	/debug/obs    — the DebugSnapshot JSON
+//	/debug/vars       — expvar (including the registry if published there)
+//	/debug/pprof      — net/http/pprof profiles
+//	/debug/obs        — the DebugSnapshot JSON
+//	/debug/obs/trace  — per-trace span tree lookup (?id=<trace-id>)
 //
 // A dedicated mux (rather than http.DefaultServeMux) keeps the endpoint
 // from leaking into any other server the process runs.
@@ -58,6 +63,11 @@ func NewDebugMux(o *Obs) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/obs", Handler(o))
+	var reqs *TraceStore
+	if o != nil {
+		reqs = o.Requests
+	}
+	mux.Handle("/debug/obs/trace", TraceHandler(reqs))
 	return mux
 }
 

@@ -99,14 +99,29 @@ type Histogram struct {
 	counts []atomic.Int64 // len(bounds)+1; last is the overflow bucket
 	count  atomic.Int64
 	sum    Gauge
+	// exemplars[i] is the most recent traced observation that landed in
+	// bucket i, nil until one arrives (see ObserveExemplar).
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one histogram observation back to the request trace that
+// produced it, so a latency bucket on a dashboard can answer "show me one
+// request that took this long" (the OpenMetrics exemplar concept, stdlib
+// only).
+type Exemplar struct {
+	// TraceID is the trace id of the sampled request.
+	TraceID string `json:"trace_id"`
+	// Value is the sampled observation.
+	Value float64 `json:"value"`
 }
 
 // NewHistogram returns a histogram over the given upper bucket bounds,
 // which must be strictly increasing. The bounds slice is copied.
 func NewHistogram(bounds []float64) *Histogram {
 	return &Histogram{
-		bounds: append([]float64(nil), bounds...),
-		counts: make([]atomic.Int64, len(bounds)+1),
+		bounds:    append([]float64(nil), bounds...),
+		counts:    make([]atomic.Int64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
 	}
 }
 
@@ -120,6 +135,23 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[ix].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
+}
+
+// ObserveExemplar records one value and, when traceID is non-empty, keeps
+// it as the bucket's exemplar — the trace id of a sample request whose
+// latency landed there, replacing the previous sample. No-op on a nil
+// receiver.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	ix := sort.SearchFloat64s(h.bounds, v)
+	h.counts[ix].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	if traceID != "" {
+		h.exemplars[ix].Store(&Exemplar{TraceID: traceID, Value: v})
+	}
 }
 
 // Count returns the total number of observations (0 on nil).
@@ -148,6 +180,14 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	}
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
+	}
+	for i := range h.exemplars {
+		if ex := h.exemplars[i].Load(); ex != nil {
+			if s.Exemplars == nil {
+				s.Exemplars = make([]*Exemplar, len(h.counts))
+			}
+			s.Exemplars[i] = ex
+		}
 	}
 	return s
 }
@@ -184,6 +224,11 @@ type HistogramSnapshot struct {
 	Counts []int64   `json:"counts"`
 	Count  int64     `json:"count"`
 	Sum    float64   `json:"sum"`
+	// Exemplars, when present, is bucket-aligned with Counts: entry i is
+	// the latest traced observation that landed in bucket i (nil for
+	// buckets without one). Omitted entirely when no observation carried a
+	// trace id, so untraced snapshots keep their pre-exemplar shape.
+	Exemplars []*Exemplar `json:"exemplars,omitempty"`
 }
 
 // Snapshot is a point-in-time JSON-marshalable copy of a registry.
@@ -215,6 +260,9 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	// runtimeMetrics, when set via EnableRuntimeMetrics, makes Snapshot
+	// sample the runtime.* process-health gauges first.
+	runtimeMetrics bool
 }
 
 // NewRegistry returns an empty registry.
@@ -275,7 +323,10 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
-// Snapshot copies the current value of every registered metric.
+// Snapshot copies the current value of every registered metric. With
+// EnableRuntimeMetrics set, the runtime.* process-health gauges are
+// refreshed first so every snapshot carries current goroutine and heap
+// numbers.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
 		Counters:   make(map[string]int64),
@@ -284,6 +335,12 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	if r == nil {
 		return s
+	}
+	r.mu.Lock()
+	sample := r.runtimeMetrics
+	r.mu.Unlock()
+	if sample {
+		r.sampleRuntime()
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()

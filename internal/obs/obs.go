@@ -10,11 +10,18 @@ type Obs struct {
 	Metrics *Registry
 	// Trace is the span tracer; nil disables tracing.
 	Trace *Tracer
+	// Requests retains finished request traces for /debug/obs (slowest
+	// table and per-trace lookup); nil disables retention.
+	Requests *TraceStore
 }
 
-// New returns an Obs with a fresh registry and a default-bounded tracer.
+// New returns an Obs with a fresh registry, a default-bounded tracer whose
+// drops surface as the obs.spans_dropped counter, and a default-bounded
+// request trace store.
 func New() *Obs {
-	return &Obs{Metrics: NewRegistry(), Trace: NewTracer(0)}
+	o := &Obs{Metrics: NewRegistry(), Trace: NewTracer(0), Requests: NewTraceStore(0, 0)}
+	o.Trace.BindDroppedCounter(o.Metrics.Counter("obs.spans_dropped"))
+	return o
 }
 
 // Counter is a nil-safe shorthand for o.Metrics.Counter(name).

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type of the text exposition WritePrometheus
+// emits (the classic Prometheus format, plus OpenMetrics-style exemplar
+// suffixes on histogram bucket lines).
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromName sanitizes a registry metric name into the Prometheus name
+// charset [a-zA-Z0-9_:]: every other rune (the registry's dots, mostly)
+// becomes '_', and a leading digit gains a '_' prefix. "serve.refine_seconds"
+// → "serve_refine_seconds".
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus writes the snapshot in Prometheus text exposition format:
+// counters and gauges as single samples, histograms as cumulative
+// le-labelled bucket series with _sum and _count. Buckets that carry an
+// exemplar append it in OpenMetrics syntax (`# {trace_id="..."} value`) so
+// a latency bucket links back to a sample request trace. Output is
+// deterministic: names are emitted sorted within each kind.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, name := range sortedKeys(s.Counters) {
+		pn := PromName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		pn := PromName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(s.Gauges[name])); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		if err := writePromHistogram(w, PromName(name), s.Histograms[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePrometheus writes the live registry state in Prometheus text
+// exposition format (see Snapshot.WritePrometheus).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.Snapshot().WritePrometheus(w)
+}
+
+func writePromHistogram(w io.Writer, pn string, h HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+		return err
+	}
+	var cum int64
+	for i, c := range h.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(h.Bounds) {
+			le = promFloat(h.Bounds[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d", pn, le, cum); err != nil {
+			return err
+		}
+		if i < len(h.Exemplars) && h.Exemplars[i] != nil {
+			ex := h.Exemplars[i]
+			if _, err := fmt.Fprintf(w, " # {trace_id=%q} %s", ex.TraceID, promFloat(ex.Value)); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", pn, promFloat(h.Sum), pn, h.Count)
+	return err
+}
+
+// promFloat renders a float the way Prometheus text format expects.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

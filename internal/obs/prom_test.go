@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"serve.refine_seconds":    "serve_refine_seconds",
+		"core.session.level0.b":   "core_session_level0_b",
+		"already_clean":           "already_clean",
+		"9starts.with.digit":      "_9starts_with_digit",
+		"weird-chars/and spaces!": "weird_chars_and_spaces_",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve.refines").Add(7)
+	r.Gauge("servecache.bytes").Set(1234.5)
+	h := r.Histogram("serve.refine_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.ObserveExemplar(0.5, "deadbeefdeadbeefdeadbeefdeadbeef")
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE serve_refines counter\nserve_refines 7\n",
+		"# TYPE servecache_bytes gauge\nservecache_bytes 1234.5\n",
+		"# TYPE serve_refine_seconds histogram\n",
+		`serve_refine_seconds_bucket{le="0.1"} 1`,
+		`serve_refine_seconds_bucket{le="1"} 2 # {trace_id="deadbeefdeadbeefdeadbeefdeadbeef"} 0.5`,
+		`serve_refine_seconds_bucket{le="+Inf"} 3`,
+		"serve_refine_seconds_sum 5.55\n",
+		"serve_refine_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Add(1)
+	r.Counter("a").Add(2)
+	r.Gauge("z").Set(1)
+	var first, second strings.Builder
+	r.WritePrometheus(&first)
+	r.WritePrometheus(&second)
+	if first.String() != second.String() {
+		t.Fatal("two writes of the same registry differ")
+	}
+	if strings.Index(first.String(), "# TYPE a ") > strings.Index(first.String(), "# TYPE b ") {
+		t.Fatal("counters not emitted in sorted order")
+	}
+}
+
+func TestSnapshotExemplarShape(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1})
+	h.Observe(0.5)
+	snap := r.Snapshot()
+	if snap.Histograms["lat"].Exemplars != nil {
+		t.Fatal("untraced histogram should omit exemplars")
+	}
+	h.ObserveExemplar(2, "aa11aa11aa11aa11aa11aa11aa11aa11")
+	snap = r.Snapshot()
+	ex := snap.Histograms["lat"].Exemplars
+	if ex == nil || len(ex) != 2 {
+		t.Fatalf("exemplars = %v, want bucket-aligned slice of 2", ex)
+	}
+	if ex[0] != nil {
+		t.Fatal("bucket 0 should have no exemplar")
+	}
+	if ex[1] == nil || ex[1].TraceID != "aa11aa11aa11aa11aa11aa11aa11aa11" || ex[1].Value != 2 {
+		t.Fatalf("overflow bucket exemplar = %+v", ex[1])
+	}
+}
+
+func TestRuntimeMetricsSampling(t *testing.T) {
+	r := NewRegistry()
+	if _, ok := r.Snapshot().Gauges["runtime.goroutines"]; ok {
+		t.Fatal("runtime gauges sampled without opt-in")
+	}
+	r.EnableRuntimeMetrics()
+	snap := r.Snapshot()
+	if g := snap.Gauges["runtime.goroutines"]; g < 1 {
+		t.Fatalf("runtime.goroutines = %g, want >= 1", g)
+	}
+	if snap.Gauges["runtime.heap_alloc_bytes"] <= 0 {
+		t.Fatal("runtime.heap_alloc_bytes not sampled")
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if snap.Gauges["runtime.heap_sys_bytes"] > float64(ms.HeapSys)*2 {
+		t.Fatal("heap_sys gauge implausibly large")
+	}
+	// Nil registry stays inert.
+	var nilReg *Registry
+	nilReg.EnableRuntimeMetrics()
+}

@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// Defaults for NewTraceStore(0, 0): how many recent request traces are kept
+// for per-trace lookup, and how many all-time-slowest requests are pinned
+// beyond the recency window.
+const (
+	DefaultRecentTraces = 256
+	DefaultSlowTraces   = 32
+)
+
+// RequestRecord is one finished request's trace: identity, outcome, and
+// the request-scoped span tree collected while it ran. The serving tier
+// adds one per request; /debug/obs/trace?id= serves it back.
+type RequestRecord struct {
+	// TraceID is the request's 32-hex-digit trace id, as returned in the
+	// traceparent response header and logged in the access line.
+	TraceID string `json:"trace_id"`
+	// Name identifies the operation ("refine", "open", ...).
+	Name string `json:"name"`
+	// Status is the HTTP status the request finished with.
+	Status int `json:"status"`
+	// StartNs is the request start as Unix nanoseconds.
+	StartNs int64 `json:"start_ns"`
+	// DurNs is the full request duration in nanoseconds.
+	DurNs int64 `json:"dur_ns"`
+	// Attrs carries request-level attributes (field, tolerance, outcome).
+	Attrs map[string]any `json:"attrs,omitempty"`
+	// Spans is the request's span tree, ordered by start time.
+	Spans []SpanRecord `json:"spans"`
+}
+
+// RequestSummary is the per-request row of the slowest-requests table: the
+// record without its span tree, cheap enough to serve on every /debug/obs
+// hit.
+type RequestSummary struct {
+	TraceID string `json:"trace_id"`
+	Name    string `json:"name"`
+	Status  int    `json:"status"`
+	StartNs int64  `json:"start_ns"`
+	DurNs   int64  `json:"dur_ns"`
+	// Spans is the number of spans the full record holds.
+	Spans int `json:"spans"`
+}
+
+func (r RequestRecord) summary() RequestSummary {
+	return RequestSummary{
+		TraceID: r.TraceID,
+		Name:    r.Name,
+		Status:  r.Status,
+		StartNs: r.StartNs,
+		DurNs:   r.DurNs,
+		Spans:   len(r.Spans),
+	}
+}
+
+// TraceStore retains finished request traces under two complementary
+// policies: a ring of the most recent requests (so "what just happened to
+// trace X" is answerable while the client still holds the id) and a pinned
+// set of the slowest requests seen (so the outliers worth debugging survive
+// arbitrarily long after busy traffic has rolled the ring over). Both are
+// bounded; a nil *TraceStore ignores writes and answers empty, matching the
+// package's nil-safety contract.
+type TraceStore struct {
+	mu          sync.Mutex
+	recent      []RequestRecord // ring; next is the slot Add writes
+	next        int
+	slow        []RequestRecord // sorted by DurNs descending
+	recentLimit int
+	slowLimit   int
+}
+
+// NewTraceStore returns a store keeping the last recent requests and the
+// slow slowest ones (values <= 0 take the defaults).
+func NewTraceStore(recent, slow int) *TraceStore {
+	if recent <= 0 {
+		recent = DefaultRecentTraces
+	}
+	if slow <= 0 {
+		slow = DefaultSlowTraces
+	}
+	return &TraceStore{
+		recent:      make([]RequestRecord, 0, recent),
+		recentLimit: recent,
+		slowLimit:   slow,
+	}
+}
+
+// Add records one finished request. No-op on a nil store.
+func (ts *TraceStore) Add(rec RequestRecord) {
+	if ts == nil {
+		return
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if len(ts.recent) < ts.recentLimit {
+		ts.recent = append(ts.recent, rec)
+	} else {
+		ts.recent[ts.next] = rec
+	}
+	ts.next = (ts.next + 1) % ts.recentLimit
+	// Pin into the slowest table when it has room or rec beats its floor.
+	if len(ts.slow) < ts.slowLimit || rec.DurNs > ts.slow[len(ts.slow)-1].DurNs {
+		ts.slow = append(ts.slow, rec)
+		sort.SliceStable(ts.slow, func(i, j int) bool { return ts.slow[i].DurNs > ts.slow[j].DurNs })
+		if len(ts.slow) > ts.slowLimit {
+			ts.slow = ts.slow[:ts.slowLimit]
+		}
+	}
+}
+
+// Get returns the retained record for a trace id, preferring the most
+// recently added match. ok=false when the trace was never seen or has aged
+// out of both retention policies.
+func (ts *TraceStore) Get(traceID string) (RequestRecord, bool) {
+	if ts == nil || traceID == "" {
+		return RequestRecord{}, false
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	// Walk the ring newest to oldest.
+	for i := 0; i < len(ts.recent); i++ {
+		ix := ts.next - 1 - i
+		for ix < 0 {
+			ix += len(ts.recent)
+		}
+		ix %= len(ts.recent)
+		if ts.recent[ix].TraceID == traceID {
+			return ts.recent[ix], true
+		}
+	}
+	for _, rec := range ts.slow {
+		if rec.TraceID == traceID {
+			return rec, true
+		}
+	}
+	return RequestRecord{}, false
+}
+
+// Slowest returns the pinned slowest-request summaries, slowest first.
+func (ts *TraceStore) Slowest() []RequestSummary {
+	if ts == nil {
+		return nil
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make([]RequestSummary, len(ts.slow))
+	for i, rec := range ts.slow {
+		out[i] = rec.summary()
+	}
+	return out
+}
+
+// Len returns the number of records currently retained in the ring.
+func (ts *TraceStore) Len() int {
+	if ts == nil {
+		return 0
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.recent)
+}
+
+// TraceHandler serves per-trace lookup: GET ?id=<trace-id> answers the
+// retained RequestRecord as indented JSON, 404 when the trace is unknown or
+// aged out, 400 without an id. Works (always 404) on a nil store.
+func TraceHandler(ts *TraceStore) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.URL.Query().Get("id")
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if id == "" {
+			w.WriteHeader(http.StatusBadRequest)
+			enc.Encode(map[string]string{"error": "id parameter required (a 32-hex trace id)"})
+			return
+		}
+		rec, ok := ts.Get(id)
+		if !ok {
+			w.WriteHeader(http.StatusNotFound)
+			enc.Encode(map[string]string{"error": "trace " + id + " not retained (unknown, or aged out of the ring)"})
+			return
+		}
+		enc.Encode(rec)
+	})
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+)
+
+func reqRec(id string, dur int64) RequestRecord {
+	return RequestRecord{
+		TraceID: id,
+		Name:    "refine",
+		Status:  200,
+		StartNs: 1,
+		DurNs:   dur,
+		Spans:   []SpanRecord{{ID: 1, Name: "http.refine", TraceID: id, DurNs: dur}},
+	}
+}
+
+func TestTraceStoreRingEviction(t *testing.T) {
+	ts := NewTraceStore(3, 2)
+	for i := 0; i < 5; i++ {
+		ts.Add(reqRec(fmt.Sprintf("trace-%d", i), int64(10)))
+	}
+	if ts.Len() != 3 {
+		t.Fatalf("ring holds %d, want 3", ts.Len())
+	}
+	// Oldest two rolled out (and were never slow enough to pin beyond the
+	// first two slots); newest three are retrievable.
+	for i := 2; i < 5; i++ {
+		if _, ok := ts.Get(fmt.Sprintf("trace-%d", i)); !ok {
+			t.Errorf("trace-%d missing from ring", i)
+		}
+	}
+}
+
+func TestTraceStoreSlowestRetention(t *testing.T) {
+	ts := NewTraceStore(2, 2)
+	ts.Add(reqRec("slow-a", 1000))
+	ts.Add(reqRec("slow-b", 2000))
+	// Flood with fast requests: the ring rolls over, but the slow pair stays
+	// pinned.
+	for i := 0; i < 10; i++ {
+		ts.Add(reqRec(fmt.Sprintf("fast-%d", i), 1))
+	}
+	slow := ts.Slowest()
+	if len(slow) != 2 || slow[0].TraceID != "slow-b" || slow[1].TraceID != "slow-a" {
+		t.Fatalf("slowest = %+v, want [slow-b slow-a]", slow)
+	}
+	if slow[0].Spans != 1 {
+		t.Fatalf("summary span count = %d, want 1", slow[0].Spans)
+	}
+	// Get still resolves a pinned trace that aged out of the ring.
+	if rec, ok := ts.Get("slow-a"); !ok || len(rec.Spans) != 1 {
+		t.Fatalf("pinned slow trace not retrievable: ok=%v rec=%+v", ok, rec)
+	}
+}
+
+func TestTraceStoreGetPrefersNewest(t *testing.T) {
+	ts := NewTraceStore(4, 4)
+	ts.Add(RequestRecord{TraceID: "dup", Status: 200, DurNs: 1})
+	ts.Add(RequestRecord{TraceID: "dup", Status: 503, DurNs: 2})
+	rec, ok := ts.Get("dup")
+	if !ok || rec.Status != 503 {
+		t.Fatalf("Get returned %+v, want the newest (503)", rec)
+	}
+}
+
+func TestTraceStoreNilSafe(t *testing.T) {
+	var ts *TraceStore
+	ts.Add(reqRec("x", 1))
+	if _, ok := ts.Get("x"); ok {
+		t.Fatal("nil store returned a record")
+	}
+	if ts.Slowest() != nil || ts.Len() != 0 {
+		t.Fatal("nil store not empty")
+	}
+}
+
+func TestTraceHandler(t *testing.T) {
+	ts := NewTraceStore(4, 4)
+	ts.Add(reqRec("findme", 42))
+	h := TraceHandler(ts)
+
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/debug/obs/trace?id=findme", nil))
+	if w.Code != 200 {
+		t.Fatalf("known trace: status %d", w.Code)
+	}
+	var rec RequestRecord
+	if err := json.Unmarshal(w.Body.Bytes(), &rec); err != nil {
+		t.Fatalf("bad JSON body: %v", err)
+	}
+	if rec.TraceID != "findme" || len(rec.Spans) != 1 {
+		t.Fatalf("served %+v", rec)
+	}
+
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/debug/obs/trace?id=unknown", nil))
+	if w.Code != 404 {
+		t.Fatalf("unknown trace: status %d, want 404", w.Code)
+	}
+
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/debug/obs/trace", nil))
+	if w.Code != 400 {
+		t.Fatalf("missing id: status %d, want 400", w.Code)
+	}
+
+	w = httptest.NewRecorder()
+	TraceHandler(nil).ServeHTTP(w, httptest.NewRequest("GET", "/debug/obs/trace?id=x", nil))
+	if w.Code != 404 {
+		t.Fatalf("nil store: status %d, want 404", w.Code)
+	}
+}

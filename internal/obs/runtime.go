@@ -1,0 +1,32 @@
+package obs
+
+import "runtime"
+
+// EnableRuntimeMetrics makes every Snapshot of the registry sample process
+// health first: goroutine count and runtime.MemStats heap/GC gauges land
+// under runtime.*, so /metrics (JSON or Prometheus) covers the serving
+// process itself without cgo or external dependencies. Opt-in because
+// ReadMemStats briefly stops the world — batch pipelines snapshotting
+// per-iteration should not pay it implicitly. No-op on a nil registry.
+func (r *Registry) EnableRuntimeMetrics() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.runtimeMetrics = true
+	r.mu.Unlock()
+}
+
+// sampleRuntime refreshes the runtime.* gauges. Called outside r.mu so the
+// stop-the-world pause in ReadMemStats never extends a registry lock hold.
+func (r *Registry) sampleRuntime() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge("runtime.goroutines").Set(float64(runtime.NumGoroutine()))
+	r.Gauge("runtime.heap_alloc_bytes").Set(float64(ms.HeapAlloc))
+	r.Gauge("runtime.heap_sys_bytes").Set(float64(ms.HeapSys))
+	r.Gauge("runtime.heap_objects").Set(float64(ms.HeapObjects))
+	r.Gauge("runtime.gc_cycles").Set(float64(ms.NumGC))
+	r.Gauge("runtime.gc_pause_total_seconds").Set(float64(ms.PauseTotalNs) / 1e9)
+	r.Gauge("runtime.next_gc_bytes").Set(float64(ms.NextGC))
+}

@@ -16,13 +16,21 @@ import (
 // retrieve run at the paper's 5-level × 32-plane configuration.
 const DefaultTraceLimit = 4096
 
+// nextSpanID issues span IDs unique across every tracer in the process, so
+// span records from per-request tracers can be absorbed into a process-wide
+// timeline without parent links colliding.
+var nextSpanID atomic.Int64
+
 // Tracer records a bounded in-memory trace of spans. Spans beyond the
 // limit are counted as dropped rather than grown — a trace is a debugging
 // artifact, not an unbounded log. A nil *Tracer hands out nil spans and
 // every span operation on a nil *Span is a no-op.
 type Tracer struct {
-	limit  int
-	nextID atomic.Int64
+	limit int
+	// droppedC, when bound, mirrors the dropped count into a registry
+	// counter (obs.spans_dropped) so buffer saturation is visible in
+	// metrics snapshots, not only in the trace dump.
+	droppedC *Counter
 
 	mu      sync.Mutex
 	spans   []SpanRecord
@@ -38,38 +46,69 @@ func NewTracer(limit int) *Tracer {
 	return &Tracer{limit: limit}
 }
 
+// BindDroppedCounter mirrors future span drops into c (and folds in any
+// drops counted so far), so a registry snapshot carries tracer saturation
+// as obs.spans_dropped. No-op on a nil tracer or counter.
+func (t *Tracer) BindDroppedCounter(c *Counter) {
+	if t == nil || c == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c.Add(t.dropped)
+	t.droppedC = c
+}
+
 // Span is one in-flight traced operation. Create with Tracer.Start (or
 // Span.Child), attach attributes, then End it exactly once. A nil *Span
 // is inert, so callers never need to guard on tracing being enabled.
 type Span struct {
-	t      *Tracer
-	id     int64
-	parent int64
-	name   string
-	start  time.Time
+	t       *Tracer
+	id      int64
+	parent  int64
+	traceID string
+	name    string
+	start   time.Time
 
-	mu    sync.Mutex
-	attrs map[string]any
-	ended bool
+	mu     sync.Mutex
+	attrs  map[string]any
+	status string
+	ended  bool
 }
 
 // Start begins a span under the given parent (nil parent means a root
-// span). Returns nil on a nil tracer.
+// span). The span inherits the parent's trace ID. Returns nil on a nil
+// tracer.
 func (t *Tracer) Start(name string, parent *Span) *Span {
 	if t == nil {
 		return nil
 	}
 	var pid int64
+	var traceID string
 	if parent != nil {
 		pid = parent.id
+		traceID = parent.traceID
 	}
 	return &Span{
-		t:      t,
-		id:     t.nextID.Add(1),
-		parent: pid,
-		name:   name,
-		start:  time.Now(),
+		t:       t,
+		id:      nextSpanID.Add(1),
+		parent:  pid,
+		traceID: traceID,
+		name:    name,
+		start:   time.Now(),
 	}
+}
+
+// StartTrace begins a root span stamped with the given trace ID; every
+// descendant started via Child inherits it, forming one request-scoped
+// span tree identifiable across logs, metrics exemplars and the
+// /debug/obs/trace view. Returns nil on a nil tracer.
+func (t *Tracer) StartTrace(name, traceID string) *Span {
+	sp := t.Start(name, nil)
+	if sp != nil {
+		sp.traceID = traceID
+	}
+	return sp
 }
 
 // Child starts a sub-span of s. Returns nil on a nil span, so span trees
@@ -79,6 +118,48 @@ func (s *Span) Child(name string) *Span {
 		return nil
 	}
 	return s.t.Start(name, s)
+}
+
+// HexID returns the span's id as 16 hex digits — the W3C span-id form used
+// in traceparent headers. Empty on a nil span.
+func (s *Span) HexID() string {
+	if s == nil {
+		return ""
+	}
+	return fmt.Sprintf("%016x", uint64(s.id))
+}
+
+// TraceID returns the trace id the span belongs to (empty on a nil span or
+// outside any trace).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.traceID
+}
+
+// SetStatus records the span's terminal status ("" means ok; the
+// StatusCancelled/StatusDeadline/StatusError constants cover the failure
+// modes). No-op on a nil or ended span.
+func (s *Span) SetStatus(status string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return
+	}
+	s.status = status
+}
+
+// Fail stamps the span with the status StatusFromErr derives from err; a
+// nil err leaves the status untouched, so Fail(err) before End() is safe on
+// every return path.
+func (s *Span) Fail(err error) {
+	if err != nil {
+		s.SetStatus(StatusFromErr(err))
+	}
 }
 
 // SetAttr attaches one key/value attribute to the span. Values should be
@@ -112,34 +193,62 @@ func (s *Span) End() {
 		return
 	}
 	s.ended = true
-	attrs := s.attrs
+	attrs, status := s.attrs, s.status
 	s.mu.Unlock()
 	rec := SpanRecord{
 		ID:      s.id,
 		Parent:  s.parent,
+		TraceID: s.traceID,
 		Name:    s.name,
+		Status:  status,
 		StartNs: s.start.UnixNano(),
 		DurNs:   end.Sub(s.start).Nanoseconds(),
 		Attrs:   attrs,
 	}
-	t := s.t
+	s.t.record(rec)
+}
+
+// record commits one finished span, counting it as dropped at capacity.
+func (t *Tracer) record(rec SpanRecord) {
 	t.mu.Lock()
+	var droppedC *Counter
 	if len(t.spans) < t.limit {
 		t.spans = append(t.spans, rec)
 	} else {
 		t.dropped++
+		droppedC = t.droppedC
 	}
 	t.mu.Unlock()
+	droppedC.Add(1)
+}
+
+// Absorb copies finished span records — typically a per-request tracer's
+// timeline — into this tracer's buffer, subject to the same capacity bound
+// as locally recorded spans. Span IDs are process-unique, so parent links
+// survive the merge. No-op on a nil tracer.
+func (t *Tracer) Absorb(spans []SpanRecord) {
+	if t == nil {
+		return
+	}
+	for _, rec := range spans {
+		t.record(rec)
+	}
 }
 
 // SpanRecord is one finished span in the JSON timeline.
 type SpanRecord struct {
-	// ID is the span's unique id within its tracer (1-based).
+	// ID is the span's process-unique id.
 	ID int64 `json:"id"`
 	// Parent is the id of the enclosing span, 0 for roots.
 	Parent int64 `json:"parent"`
+	// TraceID is the request trace the span belongs to; empty for spans
+	// recorded outside any request (batch pipeline stages).
+	TraceID string `json:"trace_id,omitempty"`
 	// Name is the stage name ("decompose.pass", "storage.segment", ...).
 	Name string `json:"name"`
+	// Status is the terminal status: empty means ok, otherwise one of the
+	// Status* constants ("cancelled", "deadline", "error").
+	Status string `json:"status,omitempty"`
 	// StartNs is the span start as Unix nanoseconds.
 	StartNs int64 `json:"start_ns"`
 	// DurNs is the span duration in nanoseconds.

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"strings"
+)
+
+// TraceContext is the request-scoped trace identity carried across process
+// boundaries in the W3C `traceparent` header format (version 00):
+//
+//	traceparent: 00-<32 hex trace-id>-<16 hex parent-span-id>-<2 hex flags>
+//
+// The serving tier extracts it from inbound requests (or mints a fresh one
+// when absent), threads it through context.Context, and injects it into
+// the response so clients, access-log lines and the /debug/obs/trace view
+// all name the same request by the same trace ID. IDs are lowercase hex
+// strings rather than byte arrays because every consumer here — logs,
+// JSON span records, HTTP headers — wants the textual form.
+type TraceContext struct {
+	// TraceID is the 32-hex-digit trace identifier shared by every span of
+	// the request, across processes.
+	TraceID string
+	// SpanID is the 16-hex-digit id of the current (parent) span — for an
+	// inbound header, the caller's span the server's root span hangs off.
+	SpanID string
+	// Sampled is the recorded flag (bit 0 of trace-flags).
+	Sampled bool
+}
+
+// Valid reports whether the context carries a well-formed, non-zero trace
+// and span id.
+func (tc TraceContext) Valid() bool {
+	return isHexID(tc.TraceID, 32) && isHexID(tc.SpanID, 16)
+}
+
+// TraceParent renders the context in traceparent header syntax.
+func (tc TraceContext) TraceParent() string {
+	flags := "00"
+	if tc.Sampled {
+		flags = "01"
+	}
+	return "00-" + tc.TraceID + "-" + tc.SpanID + "-" + flags
+}
+
+// NewTraceContext mints a fresh sampled trace context with random IDs.
+func NewTraceContext() TraceContext {
+	var buf [24]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a zero ID would be
+		// rejected by Valid, so fall back to a fixed non-zero pattern.
+		for i := range buf {
+			buf[i] = byte(i + 1)
+		}
+	}
+	return TraceContext{
+		TraceID: hex.EncodeToString(buf[:16]),
+		SpanID:  hex.EncodeToString(buf[16:]),
+		Sampled: true,
+	}
+}
+
+// ParseTraceParent parses a traceparent header value. It accepts any
+// version except the reserved "ff" (per the W3C spec, higher versions are
+// treated as version 00), requires non-zero lowercase-hex trace and span
+// IDs, and reports ok=false on anything malformed — callers then mint a
+// fresh context instead of failing the request.
+func ParseTraceParent(h string) (TraceContext, bool) {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) < 4 {
+		return TraceContext{}, false
+	}
+	version, traceID, spanID, flags := parts[0], parts[1], parts[2], parts[3]
+	// Version and flags may legitimately be all zeros; only the IDs carry
+	// the W3C zero-is-invalid rule.
+	if !isHex(version, 2) || version == "ff" || !isHex(flags, 2) {
+		return TraceContext{}, false
+	}
+	if !isHexID(traceID, 32) || !isHexID(spanID, 16) {
+		return TraceContext{}, false
+	}
+	fb, _ := hex.DecodeString(flags)
+	return TraceContext{TraceID: traceID, SpanID: spanID, Sampled: fb[0]&1 == 1}, true
+}
+
+// isHex reports whether s is exactly n lowercase hex digits.
+func isHex(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// isHexID reports whether s is exactly n lowercase hex digits and not all
+// zeros (the W3C invalid-ID sentinel).
+func isHexID(s string, n int) bool {
+	if !isHex(s, n) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return true
+		}
+	}
+	return false
+}
+
+// StatusFromErr maps an operation error to a span status: "" (ok) for nil,
+// "cancelled" for context.Canceled, "deadline" for DeadlineExceeded, and
+// "error" for everything else.
+func StatusFromErr(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, context.Canceled):
+		return StatusCancelled
+	case errors.Is(err, context.DeadlineExceeded):
+		return StatusDeadline
+	default:
+		return StatusError
+	}
+}
+
+// Span status values. The empty string means ok and is omitted from JSON.
+const (
+	// StatusCancelled marks a span ended because its caller's context was
+	// cancelled (client disconnect, a singleflight waiter detaching).
+	StatusCancelled = "cancelled"
+	// StatusDeadline marks a span ended because its deadline expired.
+	StatusDeadline = "deadline"
+	// StatusError marks a span ended by a non-context failure.
+	StatusError = "error"
+)
+
+// ctxKey is the private type for this package's context keys.
+type ctxKey int
+
+const (
+	traceCtxKey ctxKey = iota
+	spanCtxKey
+)
+
+// ContextWithTrace returns a context carrying tc, retrievable with
+// TraceFromContext.
+func ContextWithTrace(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey, tc)
+}
+
+// TraceFromContext returns the trace context carried by ctx, if any.
+func TraceFromContext(ctx context.Context) (TraceContext, bool) {
+	tc, ok := ctx.Value(traceCtxKey).(TraceContext)
+	return tc, ok
+}
+
+// ContextWithSpan returns a context carrying sp as the current span, the
+// parent that child spans started deeper in the call tree attach to.
+// Carrying a nil span is allowed and equivalent to not carrying one.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey, sp)
+}
+
+// SpanFromContext returns the current span carried by ctx, or nil. A nil
+// result chains safely into Child/SetAttr/End, so instrumented code needs
+// no tracing-enabled branch — on a context without a span (tracing off,
+// a library caller with context.Background()) the cost is one Value lookup.
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanCtxKey).(*Span)
+	return sp
+}

@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestParseTraceParentRoundTrip(t *testing.T) {
+	tc := NewTraceContext()
+	if !tc.Valid() {
+		t.Fatalf("minted trace context invalid: %+v", tc)
+	}
+	got, ok := ParseTraceParent(tc.TraceParent())
+	if !ok {
+		t.Fatalf("ParseTraceParent rejected own output %q", tc.TraceParent())
+	}
+	if got != tc {
+		t.Fatalf("round trip changed context: %+v -> %+v", tc, got)
+	}
+}
+
+func TestParseTraceParentValid(t *testing.T) {
+	h := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	tc, ok := ParseTraceParent(h)
+	if !ok {
+		t.Fatalf("rejected valid header %q", h)
+	}
+	if tc.TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" || tc.SpanID != "00f067aa0ba902b7" || !tc.Sampled {
+		t.Fatalf("parsed wrong: %+v", tc)
+	}
+	// Unsampled flag.
+	tc, ok = ParseTraceParent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00")
+	if !ok || tc.Sampled {
+		t.Fatalf("flags 00 should parse unsampled, got ok=%v %+v", ok, tc)
+	}
+	// Higher versions are treated as version 00 (may carry extra fields).
+	if _, ok := ParseTraceParent("42-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra"); !ok {
+		t.Fatal("future version with trailing fields should parse")
+	}
+}
+
+func TestParseTraceParentRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"00-short-00f067aa0ba902b7-01",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-short-01",
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // zero span id
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // reserved version
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01", // uppercase
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",    // missing flags
+		"garbage",
+	}
+	for _, h := range bad {
+		if tc, ok := ParseTraceParent(h); ok {
+			t.Errorf("accepted malformed %q as %+v", h, tc)
+		}
+	}
+}
+
+func TestNewTraceContextUnique(t *testing.T) {
+	a, b := NewTraceContext(), NewTraceContext()
+	if a.TraceID == b.TraceID {
+		t.Fatalf("two minted contexts share trace id %s", a.TraceID)
+	}
+}
+
+func TestContextCarriesTraceAndSpan(t *testing.T) {
+	ctx := context.Background()
+	if _, ok := TraceFromContext(ctx); ok {
+		t.Fatal("empty context reports a trace")
+	}
+	if sp := SpanFromContext(ctx); sp != nil {
+		t.Fatal("empty context reports a span")
+	}
+	tc := NewTraceContext()
+	ctx = ContextWithTrace(ctx, tc)
+	got, ok := TraceFromContext(ctx)
+	if !ok || got != tc {
+		t.Fatalf("trace round trip: ok=%v got=%+v", ok, got)
+	}
+
+	tr := NewTracer(0)
+	sp := tr.StartTrace("root", tc.TraceID)
+	ctx = ContextWithSpan(ctx, sp)
+	if SpanFromContext(ctx) != sp {
+		t.Fatal("span round trip failed")
+	}
+	// Nil span leaves the context unchanged, and chained child calls on the
+	// absent span stay inert.
+	base := context.Background()
+	if ContextWithSpan(base, nil) != base {
+		t.Fatal("ContextWithSpan(nil) should return ctx unchanged")
+	}
+	child := SpanFromContext(base).Child("x")
+	if child != nil {
+		t.Fatal("child of absent span should be nil")
+	}
+	child.SetAttr("k", 1)
+	child.End() // must not panic
+}
+
+func TestStatusFromErr(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, ""},
+		{context.Canceled, StatusCancelled},
+		{context.DeadlineExceeded, StatusDeadline},
+		{fmt.Errorf("wrapped: %w", context.Canceled), StatusCancelled},
+		{fmt.Errorf("wrapped: %w", context.DeadlineExceeded), StatusDeadline},
+		{errors.New("boom"), StatusError},
+	}
+	for _, c := range cases {
+		if got := StatusFromErr(c.err); got != c.want {
+			t.Errorf("StatusFromErr(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+func TestSpanTraceIDInheritanceAndStatus(t *testing.T) {
+	tr := NewTracer(0)
+	root := tr.StartTrace("root", "0123456789abcdef0123456789abcdef")
+	child := root.Child("child")
+	grand := child.Child("grand")
+	if got := grand.TraceID(); got != "0123456789abcdef0123456789abcdef" {
+		t.Fatalf("grandchild trace id %q not inherited", got)
+	}
+	if root.HexID() == "" || len(root.HexID()) != 16 {
+		t.Fatalf("root HexID %q not 16 hex digits", root.HexID())
+	}
+	grand.Fail(context.Canceled)
+	grand.End()
+	child.Fail(nil) // nil err must not clobber status
+	child.SetStatus(StatusError)
+	child.End()
+	root.End()
+	tl := tr.Timeline()
+	if len(tl) != 3 {
+		t.Fatalf("timeline has %d spans, want 3", len(tl))
+	}
+	byName := map[string]SpanRecord{}
+	for _, rec := range tl {
+		byName[rec.Name] = rec
+		if rec.TraceID != "0123456789abcdef0123456789abcdef" {
+			t.Errorf("span %s trace id %q", rec.Name, rec.TraceID)
+		}
+	}
+	if byName["grand"].Status != StatusCancelled {
+		t.Errorf("grand status %q, want cancelled", byName["grand"].Status)
+	}
+	if byName["child"].Status != StatusError {
+		t.Errorf("child status %q, want error", byName["child"].Status)
+	}
+	if byName["root"].Status != "" {
+		t.Errorf("root status %q, want ok", byName["root"].Status)
+	}
+	if byName["grand"].Parent != byName["child"].ID || byName["child"].Parent != byName["root"].ID {
+		t.Error("parent links broken across the tree")
+	}
+}
+
+func TestAbsorbMergesSpansAcrossTracers(t *testing.T) {
+	reqTracer := NewTracer(0)
+	root := reqTracer.StartTrace("http.refine", "aaaabbbbccccddddaaaabbbbccccdddd")
+	root.Child("stage").End()
+	root.End()
+
+	proc := NewTracer(0)
+	proc.Start("local", nil).End()
+	proc.Absorb(reqTracer.Timeline())
+	tl := proc.Timeline()
+	if len(tl) != 3 {
+		t.Fatalf("absorbed timeline has %d spans, want 3", len(tl))
+	}
+	ids := map[int64]bool{}
+	for _, rec := range tl {
+		if ids[rec.ID] {
+			t.Fatalf("span id %d collides after absorb", rec.ID)
+		}
+		ids[rec.ID] = true
+	}
+}
+
+func TestSpansDroppedCounter(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(2)
+	tr.Start("pre-bind-kept", nil).End()
+	tr.Start("pre-bind-kept2", nil).End()
+	tr.Start("pre-bind-dropped", nil).End() // dropped before binding
+	c := r.Counter("obs.spans_dropped")
+	tr.BindDroppedCounter(c)
+	if c.Value() != 1 {
+		t.Fatalf("bind should fold in prior drops: counter = %d, want 1", c.Value())
+	}
+	tr.Start("post-bind-dropped", nil).End()
+	if c.Value() != 2 {
+		t.Fatalf("post-bind drop not mirrored: counter = %d, want 2", c.Value())
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("tracer dropped = %d, want 2", tr.Dropped())
+	}
+	snap := r.Snapshot()
+	if snap.Counters["obs.spans_dropped"] != 2 {
+		t.Fatalf("snapshot obs.spans_dropped = %d, want 2", snap.Counters["obs.spans_dropped"])
+	}
+}
+
+func TestNewObsWiresDropCounterAndRequests(t *testing.T) {
+	o := New()
+	if o.Requests == nil {
+		t.Fatal("New() should attach a request trace store")
+	}
+	// Saturate the default tracer and confirm the drop lands in the registry.
+	for i := 0; i < DefaultTraceLimit+3; i++ {
+		o.Trace.Start("s", nil).End()
+	}
+	if got := o.Metrics.Snapshot().Counters["obs.spans_dropped"]; got != 3 {
+		t.Fatalf("obs.spans_dropped = %d, want 3", got)
+	}
+}

@@ -321,6 +321,14 @@ func (b BreakerSource) Segment(level, plane int) ([]byte, error) {
 // breaker, forwarding ctx to the wrapped source when it is context-aware.
 func (b BreakerSource) SegmentCtx(ctx context.Context, level, plane int) ([]byte, error) {
 	if err := b.Breaker.Allow(); err != nil {
+		// A span only on rejection: a pass-through read is fully described
+		// by the storage.read span underneath, but a breaker-open fast-fail
+		// never reaches storage and would otherwise vanish from the trace.
+		sp := obs.SpanFromContext(ctx).Child("breaker.reject")
+		sp.SetAttr("level", level)
+		sp.SetAttr("plane", plane)
+		sp.SetStatus(obs.StatusError)
+		sp.End()
 		return nil, fmt.Errorf("resilience: read level %d plane %d: %w", level, plane, err)
 	}
 	var payload []byte

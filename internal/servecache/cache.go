@@ -330,6 +330,9 @@ func (c *Cache) getOrFetchCtx(ctx context.Context, key Key, fetch FetchCtx) (raw
 	if err := ctx.Err(); err != nil {
 		return nil, 0, false, err
 	}
+	sp := obs.SpanFromContext(ctx).Child("servecache.get")
+	sp.SetAttr("level", key.Level)
+	sp.SetAttr("plane", key.Plane)
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.lru.MoveToFront(e.elem)
@@ -337,21 +340,30 @@ func (c *Cache) getOrFetchCtx(ctx context.Context, key Key, fetch FetchCtx) (raw
 		c.mu.Unlock()
 		c.c.hits.Add(1)
 		c.c.hitSecs.Observe(time.Since(start).Seconds())
+		sp.SetAttr("outcome", "hit")
+		sp.SetAttr("bytes", payload)
+		sp.End()
 		return raw, payload, true, nil
 	}
 	if f, ok := c.flights[key]; ok {
 		f.waiters++
 		c.mu.Unlock()
 		c.c.coalesced.Add(1)
-		return c.awaitFlight(ctx, key, f, start)
+		sp.SetAttr("outcome", "coalesced")
+		return c.awaitFlight(ctx, key, f, start, sp)
 	}
 	fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	// The flight's store read nests under the leader's cache span (span
+	// values survive WithoutCancel, so the leader detaching cancels the
+	// fetch only when it was the last waiter — never the span chain).
+	fctx = obs.ContextWithSpan(fctx, sp)
 	f := &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
 	c.flights[key] = f
 	c.mu.Unlock()
 	c.c.misses.Add(1)
+	sp.SetAttr("outcome", "miss")
 	go c.runFlight(fctx, key, f, fetch)
-	return c.awaitFlight(ctx, key, f, start)
+	return c.awaitFlight(ctx, key, f, start, sp)
 }
 
 // runFlight executes one asynchronous fetch and completes its flight:
@@ -376,11 +388,16 @@ func (c *Cache) runFlight(fctx context.Context, key Key, f *flight, fetch FetchC
 
 // awaitFlight blocks one waiter on a flight until the fetch lands or the
 // waiter's ctx ends, detaching (and cancelling the flight when it was the
-// last waiter) in the latter case.
-func (c *Cache) awaitFlight(ctx context.Context, key Key, f *flight, start time.Time) ([]byte, int64, bool, error) {
+// last waiter) in the latter case. sp is the waiter's cache span; it ends
+// here with the flight's outcome — a cancelled status on detach, so a
+// killed waiter's trace shows exactly where it stopped waiting.
+func (c *Cache) awaitFlight(ctx context.Context, key Key, f *flight, start time.Time, sp *obs.Span) ([]byte, int64, bool, error) {
 	select {
 	case <-f.done:
 		c.c.missSecs.Observe(time.Since(start).Seconds())
+		sp.SetAttr("bytes", f.payload)
+		sp.Fail(f.err)
+		sp.End()
 		return f.raw, f.payload, false, f.err
 	case <-ctx.Done():
 	}
@@ -391,6 +408,9 @@ func (c *Cache) awaitFlight(ctx context.Context, key Key, f *flight, start time.
 		// result is ready, so take it rather than discard it.
 		c.mu.Unlock()
 		c.c.missSecs.Observe(time.Since(start).Seconds())
+		sp.SetAttr("bytes", f.payload)
+		sp.Fail(f.err)
+		sp.End()
 		return f.raw, f.payload, false, f.err
 	default:
 	}
@@ -407,6 +427,9 @@ func (c *Cache) awaitFlight(ctx context.Context, key Key, f *flight, start time.
 		f.cancel()
 	}
 	c.c.detached.Add(1)
+	sp.SetAttr("detached", true)
+	sp.Fail(ctx.Err())
+	sp.End()
 	return nil, 0, false, ctx.Err()
 }
 

@@ -251,7 +251,26 @@ func (r *RetryingSource) Segment(level, plane int) ([]byte, error) {
 // sleeps, so a caller abandoning a request (deadline expiry, client
 // disconnect) stops burning attempts against the tier immediately. A
 // non-cancellable ctx is exactly Segment.
+//
+// When ctx carries a request span, the whole read (attempts, backoff and
+// all) records as one "storage.read" child span with level/plane/bytes
+// attributes and a failure status on error.
 func (r *RetryingSource) SegmentCtx(ctx context.Context, level, plane int) ([]byte, error) {
+	sp := obs.SpanFromContext(ctx).Child("storage.read")
+	if sp == nil {
+		return r.segmentCtx(ctx, level, plane)
+	}
+	sp.SetAttr("level", level)
+	sp.SetAttr("plane", plane)
+	payload, err := r.segmentCtx(ctx, level, plane)
+	sp.SetAttr("bytes", len(payload))
+	sp.Fail(err)
+	sp.End()
+	return payload, err
+}
+
+// segmentCtx is the span-free retry protocol behind SegmentCtx.
+func (r *RetryingSource) segmentCtx(ctx context.Context, level, plane int) ([]byte, error) {
 	id := SegmentID{Level: level, Plane: plane}
 	r.c.reads.Add(1)
 	r.mu.Lock()
