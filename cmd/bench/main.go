@@ -7,12 +7,15 @@
 //	bench -exp fig13 -steps 64     # one experiment, more timesteps
 //	bench -list                    # list experiment ids
 //	bench -exp fig9 -quick         # smoke-test scale
+//	bench -shard-out BENCH_shard.json  # record the shard node-count sweep
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -22,14 +25,15 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id or 'all'")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		quick  = flag.Bool("quick", false, "use smoke-test scale")
-		dims   = flag.String("dims", "", "WarpX dims override, e.g. 17,17,17")
-		gsN    = flag.Int("gs", 0, "Gray-Scott grid extent override")
-		steps  = flag.Int("steps", 0, "timestep count override")
-		seed   = flag.Int64("seed", 0, "seed override")
-		csvDir = flag.String("csv", "", "also write each table as CSV under this directory")
+		exp      = flag.String("exp", "all", "experiment id or 'all'")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		quick    = flag.Bool("quick", false, "use smoke-test scale")
+		dims     = flag.String("dims", "", "WarpX dims override, e.g. 17,17,17")
+		gsN      = flag.Int("gs", 0, "Gray-Scott grid extent override")
+		steps    = flag.Int("steps", 0, "timestep count override")
+		seed     = flag.Int64("seed", 0, "seed override")
+		csvDir   = flag.String("csv", "", "also write each table as CSV under this directory")
+		shardOut = flag.String("shard-out", "", "run the shard node-count sweep and write its JSON record to this path")
 	)
 	flag.Parse()
 
@@ -66,6 +70,14 @@ func main() {
 		p.Seed = *seed
 	}
 
+	if *shardOut != "" {
+		if err := recordShardSweep(p, *shardOut); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experiments.IDs()
@@ -88,4 +100,51 @@ func main() {
 		}
 		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// recordShardSweep runs the shard-tier node-count sweep, prints its table,
+// and writes the machine-readable record (the BENCH_shard.json document) to
+// path.
+func recordShardSweep(p experiments.Params, path string) error {
+	points, err := experiments.ShardSweep(p, []int{1, 2, 3})
+	if err != nil {
+		return err
+	}
+	if err := experiments.ShardTable(points).Fprint(os.Stdout); err != nil {
+		return err
+	}
+	dims := make([]string, len(p.WarpXDims))
+	for i, d := range p.WarpXDims {
+		dims[i] = strconv.Itoa(d)
+	}
+	regen := fmt.Sprintf("go run ./cmd/bench -dims %s -shard-out %s", strings.Join(dims, ","), path)
+	doc := map[string]any{
+		"description": "Shard-tier node-count sweep: a shard.Router issues a seeded uniform-random plane-read " +
+			"workload (16 reads per plane, 4 concurrent workers, replication 1) against N file-backed /planes " +
+			"nodes on loopback, each serving one shared WarpX artifact through its own servecache budgeted at " +
+			"40% of the artifact's decompressed bytes, after one warming pass. Regenerate with: " + regen,
+		"date":   time.Now().Format("2006-01-02"),
+		"goos":   runtime.GOOS,
+		"goarch": runtime.GOARCH,
+		"cpus":   runtime.NumCPU(),
+		"note": "Recorded on a single-vCPU container (GOMAXPROCS=1): all nodes, the router and the workers " +
+			"share one core, so throughput scaling with node count is pure work elimination — more aggregate " +
+			"cache bytes mean fewer store reads and lossless decompressions on the read path — not CPU " +
+			"parallelism. On real hardware each node also brings its own cores and NIC and the gap widens.",
+		"benchmarks": map[string]any{
+			"ShardSweep": map[string]any{
+				"field":  fmt.Sprintf("WarpX Jx %v, default codec config, seed %d", p.WarpXDims, p.Seed),
+				"points": points,
+			},
+		},
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }

@@ -9,6 +9,7 @@
 //
 //	serve -in jx.pmgd[,ex.pmgd...] [-tiered dir,...] [-raw jx.field,...]
 //	      [-addr localhost:8080]
+//	      [-role node|router] [-shard-map map.json]
 //	      [-cache-bytes 268435456] [-retries 8]
 //	      [-request-timeout 30s] [-drain-timeout 10s]
 //	      [-max-inflight 0] [-max-queue 0]
@@ -53,6 +54,16 @@
 // drain gracefully — readiness flips first, in-flight requests finish,
 // then handles close.
 //
+// The serving tier also scales horizontally as a static shard
+// (internal/shard): `-role node` additionally exposes the internal /planes
+// endpoints (decompressed plane bitsets, headers, field list) backed by the
+// node's own cache, and `-role router -shard-map map.json` serves the
+// public API with no local artifacts at all — fields are discovered from
+// the shard, and every cache miss is routed to the plane's replica set by
+// consistent hashing, with per-node retry, circuit breaking and failover.
+// The router's shared cache singleflight collapses concurrent sessions'
+// misses into one network fetch per plane.
+//
 // The standard observability flags behave as in cmd/mgard: -metrics-out
 // and -trace-out write snapshots on shutdown (SIGINT/SIGTERM), -debug-addr
 // serves expvar + pprof + /debug/obs alongside the API.
@@ -87,6 +98,7 @@ import (
 	"pmgard/internal/obs"
 	"pmgard/internal/resilience"
 	"pmgard/internal/servecache"
+	"pmgard/internal/shard"
 	"pmgard/internal/storage"
 )
 
@@ -103,6 +115,8 @@ func run(args []string) error {
 	in := fs.String("in", "", "comma-separated .pmgd files to serve")
 	tiered := fs.String("tiered", "", "comma-separated tiered-store directories to serve")
 	raw := fs.String("raw", "", "comma-separated raw .field files to probe, refactor under the winning codec backend, and serve")
+	role := fs.String("role", "", "shard tier role: \"node\" also exposes the internal /planes endpoints, \"router\" serves fields fetched from a shard of nodes (requires -shard-map)")
+	shardMap := fs.String("shard-map", "", "shard map JSON file describing the node set (router role)")
 	cacheBytes := fs.Int64("cache-bytes", 256<<20, "shared plane-cache budget in decompressed bytes (0 = unbounded)")
 	retries := fs.Int("retries", 0, "wrap stores in the retry/backoff layer with this attempt cap (0 = no retry layer)")
 	requestTimeout := fs.Duration("request-timeout", 30*time.Second, "per-refine deadline propagated through fetch and retry (0 = none)")
@@ -117,7 +131,19 @@ func run(args []string) error {
 	var of obs.Flags
 	of.Register(fs)
 	fs.Parse(args)
-	if *in == "" && *tiered == "" && *raw == "" {
+	switch *role {
+	case "", "node", "router":
+	default:
+		return fmt.Errorf("bad -role %q (want node or router)", *role)
+	}
+	if *role == "router" {
+		if *shardMap == "" {
+			return fmt.Errorf("-role router requires -shard-map")
+		}
+		if *in != "" || *tiered != "" || *raw != "" {
+			return fmt.Errorf("-role router serves the shard's fields; it takes no -in/-tiered/-raw")
+		}
+	} else if *in == "" && *tiered == "" && *raw == "" {
 		return fmt.Errorf("-in, -tiered, or -raw is required")
 	}
 	logDst, logClose, err := openAccessLog(*accessLog)
@@ -138,6 +164,7 @@ func run(args []string) error {
 	}
 
 	srv, err := newServer(serverConfig{
+		Role:            *role,
 		CacheBytes:      *cacheBytes,
 		Retries:         *retries,
 		RequestTimeout:  *requestTimeout,
@@ -170,6 +197,17 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("probed %s: serving under the %s backend\n", path, backend)
+	}
+	if *role == "router" {
+		m, err := shard.LoadMap(*shardMap)
+		if err != nil {
+			return err
+		}
+		if err := srv.initRouter(context.Background(), m); err != nil {
+			return err
+		}
+		fmt.Printf("routing %d fields over %d nodes (replication %d)\n",
+			len(srv.names), len(m.Nodes), m.Replication)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -245,6 +283,13 @@ type fieldHandle struct {
 	header *core.Header
 	src    core.SegmentSource
 	close  func() error
+	// store is the validating fetch+decompress path over src, shared with
+	// the node role's /planes endpoint so router traffic and local refine
+	// traffic fill the same cache entries. nil for router-backed fields.
+	store *core.PlaneStore
+	// planes, when non-nil, replaces the store fetch path entirely: the
+	// router role fills cache misses from remote nodes through it.
+	planes servecache.SourceCtx
 	// breaker is the field's circuit breaker, nil when disabled.
 	breaker *resilience.Breaker
 	// probeErr is the startup readiness probe result: the error from
@@ -255,6 +300,10 @@ type fieldHandle struct {
 // serverConfig configures a server independently of flag parsing so tests
 // can construct one directly.
 type serverConfig struct {
+	// Role is the shard tier role: "" (standalone), "node" (also serve the
+	// internal /planes endpoints), or "router" (serve fields fetched from a
+	// shard of nodes; see initRouter).
+	Role string
 	// CacheBytes is the shared cache budget (0 = unbounded).
 	CacheBytes int64
 	// Retries, when > 0, wraps every source in a storage.RetryingSource
@@ -298,6 +347,8 @@ type server struct {
 	cache  *servecache.Cache
 	adm    *resilience.Admission
 	o      *obs.Obs
+	// router is the shard-tier client, non-nil only in the router role.
+	router *shard.Router
 	// logger emits the structured access log; nil disables it.
 	logger *slog.Logger
 	// draining is set when shutdown begins: /readyz flips to 503 and new
@@ -359,12 +410,99 @@ func (s *server) add(h *core.Header, src core.SegmentSource, closeFn func() erro
 		src = resilience.BreakerSource{Src: src, Breaker: fh.breaker}
 	}
 	fh.src = src
+	store, err := core.NewPlaneStore(h, src)
+	if err != nil {
+		return fmt.Errorf("field %q: %w", h.FieldName, err)
+	}
+	fh.store = store
 	if h.Planes > 0 && len(h.Levels) > 0 {
 		_, fh.probeErr = src.Segment(0, 0)
 	}
 	s.fields[h.FieldName] = fh
 	s.names = append(s.names, h.FieldName)
 	return nil
+}
+
+// initRouter turns the server into the shard's public face: it discovers
+// the shard's fields, fetches each header, and registers a remote-backed
+// handle whose cache misses are fetched from the plane's replica set over
+// HTTP. The shared cache's singleflight then collapses concurrent
+// sessions' misses into one network fetch per plane.
+func (s *server) initRouter(ctx context.Context, m *shard.Map) error {
+	bf := s.cfg.BreakerFailures
+	if bf == 0 {
+		// serverConfig uses 0 = disabled; RouterConfig uses negative.
+		bf = -1
+	}
+	r, err := shard.NewRouter(shard.RouterConfig{
+		Map:             m,
+		BreakerFailures: bf,
+		BreakerCooldown: s.cfg.BreakerCooldown,
+		Obs:             s.o,
+	})
+	if err != nil {
+		return err
+	}
+	s.router = r
+	names, err := r.Fields(ctx)
+	if err != nil {
+		return fmt.Errorf("discover shard fields: %w", err)
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("shard serves no fields")
+	}
+	for _, name := range names {
+		if _, ok := s.fields[name]; ok {
+			return fmt.Errorf("duplicate field %q", name)
+		}
+		h, err := r.Header(ctx, name)
+		if err != nil {
+			return err
+		}
+		fc := r.FieldClient(h)
+		fh := &fieldHandle{header: h, planes: fc}
+		if h.Planes > 0 && len(h.Levels) > 0 {
+			// The same readiness discipline as local fields: probe the first
+			// plane end to end (placement, node fetch, length validation).
+			_, _, fh.probeErr = fc.FetchPlaneCtx(ctx,
+				servecache.Key{Codec: h.Codec(), Field: cacheFieldID(h), Level: 0, Plane: 0})
+		}
+		s.fields[name] = fh
+		s.names = append(s.names, name)
+	}
+	return nil
+}
+
+// cacheFieldID is the cache namespace of a served field — the same
+// "<field>@<timestep>" a shared session derives, so /planes traffic, local
+// refine sessions and router sessions all share one set of entries.
+func cacheFieldID(h *core.Header) string {
+	return fmt.Sprintf("%s@%d", h.FieldName, h.Timestep)
+}
+
+// PlaneField implements shard.NodeSource: the node role's /planes endpoint
+// serves planes through the field's cache-backed validating store, so
+// router traffic and node-local refine traffic deduplicate into the same
+// cache entries and singleflight groups.
+func (s *server) PlaneField(name string) (shard.NodeField, bool) {
+	fh, ok := s.fields[name]
+	if !ok || fh.store == nil {
+		return shard.NodeField{}, false
+	}
+	h := fh.header
+	return shard.NodeField{
+		Header: h,
+		Fetch: func(ctx context.Context, level, plane int) ([]byte, int64, error) {
+			key := servecache.Key{Codec: h.Codec(), Field: cacheFieldID(h), Level: level, Plane: plane}
+			raw, payload, _, err := s.cache.GetOrFetchFromCtx(ctx, key, fh.store)
+			return raw, payload, err
+		},
+	}, true
+}
+
+// PlaneFields implements shard.NodeSource.
+func (s *server) PlaneFields() []string {
+	return s.names
 }
 
 func (s *server) addFile(path string) error {
@@ -440,6 +578,11 @@ func (s *server) mux() *http.ServeMux {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/readyz", s.handleReady)
+	if s.cfg.Role == "node" {
+		nh := shard.NewNodeHandler(s, s.o)
+		mux.Handle("/planes", nh)
+		mux.Handle("/planes/", nh)
+	}
 	mux.Handle("/debug/obs", obs.Handler(s.o))
 	mux.Handle("/debug/obs/trace", obs.TraceHandler(s.o.Requests))
 	return mux
@@ -528,12 +671,14 @@ func (s *server) fail(w http.ResponseWriter, code int, err error) {
 
 // failDetail writes a JSON error body with the given status and detail tag.
 // 503s carry Retry-After so well-behaved clients back off instead of
-// hammering an overloaded or draining server.
+// hammering an overloaded or draining server; callers that know how long
+// the condition will last (failRefine) set the header first and the
+// 1-second default only fills in when they have not.
 func (s *server) failDetail(w http.ResponseWriter, code int, err error, detail string) {
 	s.o.Counter("serve.errors").Add(1)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Content-Type-Options", "nosniff")
-	if code == http.StatusServiceUnavailable {
+	if code == http.StatusServiceUnavailable && w.Header().Get("Retry-After") == "" {
 		w.Header().Set("Retry-After", "1")
 	}
 	w.WriteHeader(code)
@@ -623,7 +768,7 @@ func (s *server) handleRefine(w http.ResponseWriter, r *http.Request) {
 	tol, err := parseTolerance(r, h)
 	if err != nil {
 		ar.setOutcome("bad_request")
-		s.fail(w, http.StatusBadRequest, err)
+		s.failDetail(w, http.StatusBadRequest, err, "bad_tolerance")
 		return
 	}
 	if ar != nil {
@@ -646,13 +791,13 @@ func (s *server) handleRefine(w http.ResponseWriter, r *http.Request) {
 	asp.Fail(err)
 	asp.End()
 	if err != nil {
-		s.failRefine(w, ar, err)
+		s.failRefine(w, ar, fh, err)
 		return
 	}
 	defer release()
 
 	start := time.Now()
-	sess, err := core.NewSharedSession(h, core.SharedSource{Src: fh.src, Cache: s.cache})
+	sess, err := core.NewSharedSession(h, core.SharedSource{Src: fh.src, Cache: s.cache, Planes: fh.planes})
 	if err != nil {
 		ar.setOutcome("internal")
 		s.fail(w, http.StatusInternalServerError, err)
@@ -665,7 +810,7 @@ func (s *server) handleRefine(w http.ResponseWriter, r *http.Request) {
 		ar.hits = sess.CacheHits()
 	}
 	if err != nil {
-		s.failRefine(w, ar, fmt.Errorf("refine: %w", err))
+		s.failRefine(w, ar, fh, fmt.Errorf("refine: %w", err))
 		return
 	}
 	elapsed := time.Since(start).Seconds()
@@ -692,7 +837,14 @@ func (s *server) handleRefine(w http.ResponseWriter, r *http.Request) {
 // retryable 503s, a client disconnect is 499, and only genuine upstream
 // store faults surface as 502. The chosen tag also lands on the access
 // record, so the log line names the failure mode, not just the status.
-func (s *server) failRefine(w http.ResponseWriter, ar *accessRecord, err error) {
+//
+// Retryable 503s derive their Retry-After from the actual condition
+// instead of a constant: an open breaker reports the cooldown remaining
+// (the field's own breaker, or the soonest node breaker in the router
+// role), and shedding scales with queue pressure — each full
+// MaxInflight-worth of queued refines adds a second, so a deeper backlog
+// pushes retries further out.
+func (s *server) failRefine(w http.ResponseWriter, ar *accessRecord, fh *fieldHandle, err error) {
 	var code int
 	var detail string
 	switch {
@@ -700,8 +852,22 @@ func (s *server) failRefine(w http.ResponseWriter, ar *accessRecord, err error) 
 		code, detail = http.StatusGatewayTimeout, "deadline"
 	case errors.Is(err, resilience.ErrShed):
 		code, detail = http.StatusServiceUnavailable, "shed"
+		wait := int64(1)
+		if s.cfg.MaxInflight > 0 {
+			wait += s.adm.Stats().Queued / int64(s.cfg.MaxInflight)
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(wait, 10))
 	case errors.Is(err, resilience.ErrOpen):
 		code, detail = http.StatusServiceUnavailable, "breaker_open"
+		var wait time.Duration
+		if fh != nil && fh.breaker != nil {
+			wait = fh.breaker.RetryAfter()
+		} else if s.router != nil {
+			wait = s.router.RetryAfter()
+		}
+		if wait > 0 {
+			w.Header().Set("Retry-After", retryAfterSeconds(wait))
+		}
 	case errors.Is(err, context.Canceled):
 		code, detail = statusClientClosedRequest, "client_gone"
 	default:
@@ -709,6 +875,17 @@ func (s *server) failRefine(w http.ResponseWriter, ar *accessRecord, err error) 
 	}
 	ar.setOutcome(detail)
 	s.failDetail(w, code, err, detail)
+}
+
+// retryAfterSeconds formats a cooldown remaining as a Retry-After value:
+// whole seconds rounded up, never below 1 (a 0 would invite an immediate
+// retry against a still-open breaker).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 // requestDeadline resolves the effective refine deadline: the server's
@@ -729,19 +906,24 @@ func requestDeadline(r *http.Request, serverTimeout time.Duration) (time.Duratio
 	return d, nil
 }
 
+// parseTolerance resolves the abs= or rel= tolerance parameter. Only
+// finite positive values are accepted: strconv.ParseFloat happily returns
+// NaN and ±Inf for "NaN"/"+Inf", and both slip past a plain `<= 0` check
+// (every comparison with NaN is false) — a NaN tolerance then poisons the
+// planner's error comparisons into refining nothing or everything.
 func parseTolerance(r *http.Request, h *core.Header) (float64, error) {
 	q := r.URL.Query()
 	if v := q.Get("abs"); v != "" {
 		tol, err := strconv.ParseFloat(v, 64)
-		if err != nil || tol <= 0 {
-			return 0, fmt.Errorf("bad abs tolerance %q", v)
+		if err != nil || math.IsNaN(tol) || math.IsInf(tol, 0) || tol <= 0 {
+			return 0, fmt.Errorf("bad abs tolerance %q (want a finite positive number)", v)
 		}
 		return tol, nil
 	}
 	if v := q.Get("rel"); v != "" {
 		rel, err := strconv.ParseFloat(v, 64)
-		if err != nil || rel <= 0 {
-			return 0, fmt.Errorf("bad rel tolerance %q", v)
+		if err != nil || math.IsNaN(rel) || math.IsInf(rel, 0) || rel <= 0 {
+			return 0, fmt.Errorf("bad rel tolerance %q (want a finite positive number)", v)
 		}
 		return h.AbsTolerance(rel), nil
 	}

@@ -33,9 +33,11 @@ func TestGetLengthAndReuse(t *testing.T) {
 		s[i] = float64(i)
 	}
 	p.put(s)
-	// A smaller request in the same class must reuse the filed buffer.
+	// A smaller request in the same class must reuse the filed buffer —
+	// except under the race detector, where sync.Pool randomly drops puts
+	// to shake out lifecycle bugs, so identity is not guaranteed.
 	r := p.get(80)
-	if &r[0] != &s[0] {
+	if !raceEnabled && &r[0] != &s[0] {
 		t.Fatal("same-class get did not reuse the pooled buffer")
 	}
 	p.put(r)

@@ -8,7 +8,6 @@ import (
 	"pmgard/internal/bitplane"
 	"pmgard/internal/codec"
 	"pmgard/internal/grid"
-	"pmgard/internal/lossless"
 	"pmgard/internal/obs"
 	"pmgard/internal/retrieval"
 	"pmgard/internal/servecache"
@@ -30,7 +29,9 @@ import (
 type Session struct {
 	header *Header
 	src    SegmentSource
-	codec  lossless.Codec
+	// store is the validating fetch path over src (manifest length check +
+	// lossless decompression), shared with the node-side serving tier.
+	store *PlaneStore
 	// backend is the progressive codec named by the header; dec is its
 	// zero-initialized decomposition the fetched planes decode into.
 	backend codec.ProgressiveCodec
@@ -39,6 +40,10 @@ type Session struct {
 	// shareID namespaces this session's planes within it.
 	cache   *servecache.Cache
 	shareID string
+	// remote, when non-nil, replaces the store fetch on cache misses: the
+	// shard router's sessions materialize planes from remote nodes through
+	// it instead of a local segment source.
+	remote servecache.SourceCtx
 	// mu guards everything below it.
 	mu sync.Mutex
 	// fetched[l] is how many planes of level l have been read so far.
@@ -70,7 +75,7 @@ func (s *Session) Instrument(o *obs.Obs) {
 
 // NewSession opens a progressive retrieval session over a compressed field.
 func NewSession(h *Header, src SegmentSource) (*Session, error) {
-	lc, err := lossless.ByName(h.CodecName)
+	store, err := NewPlaneStore(h, src)
 	if err != nil {
 		return nil, err
 	}
@@ -89,7 +94,7 @@ func NewSession(h *Header, src SegmentSource) (*Session, error) {
 	return &Session{
 		header:     h,
 		src:        src,
-		codec:      lc,
+		store:      store,
 		backend:    backend,
 		dec:        dec,
 		fetched:    make([]int, len(h.Levels)),
@@ -114,6 +119,13 @@ type SharedSource struct {
 	// "<field>@<timestep>" from the header — sufficient unless two distinct
 	// stores serve fields with colliding names and timesteps.
 	FieldID string
+	// Planes, when non-nil, replaces the Src fetch path entirely: cache
+	// misses are filled by Planes instead of reading segments from Src (Src
+	// may then be nil). This is the shard router's hook — its Planes
+	// implementation fans cache misses out to remote node /planes endpoints,
+	// and the cache's singleflight collapses concurrent sessions' misses
+	// into one network fetch per plane.
+	Planes servecache.SourceCtx
 }
 
 // NewSharedSession opens a progressive retrieval session whose fetch path
@@ -134,6 +146,7 @@ func NewSharedSession(h *Header, ss SharedSource) (*Session, error) {
 	if s.shareID == "" {
 		s.shareID = fmt.Sprintf("%s@%d", h.FieldName, h.Timestep)
 	}
+	s.remote = ss.Planes
 	return s, nil
 }
 
@@ -292,6 +305,9 @@ func (s *Session) fetchPlane(ctx context.Context, l, k int) ([]byte, int64, bool
 		return raw, payload, false, err
 	}
 	key := servecache.Key{Codec: s.header.Codec(), Field: s.shareID, Level: l, Plane: k}
+	if s.remote != nil {
+		return s.cache.GetOrFetchFromCtx(ctx, key, s.remote)
+	}
 	if ctx.Done() == nil {
 		return s.cache.GetOrFetchFrom(key, (*planeFetcher)(s))
 	}
@@ -315,36 +331,20 @@ func (p *planeFetcher) FetchPlaneCtx(ctx context.Context, key servecache.Key) ([
 	return (*Session)(p).fetchPlaneStore(ctx, key.Level, key.Plane)
 }
 
-// fetchPlaneStore reads plane (l, k) from the store and decompresses it.
-// The payload length is validated against the manifest before the decoder
-// sees it: a store handing back a segment of the wrong size (truncation the
-// tier did not detect, a mislabeled object) is data corruption, not a
-// plausible plane, and accepting it would silently desynchronize
-// BytesFetched from the manifest-derived plan costs.
+// fetchPlaneStore reads plane (l, k) through the session's PlaneStore,
+// which validates the payload length against the manifest before the
+// decoder sees it, and wraps the read in a session.fetch_plane span.
 func (s *Session) fetchPlaneStore(ctx context.Context, l, k int) ([]byte, int64, error) {
 	sp := obs.SpanFromContext(ctx).Child("session.fetch_plane")
 	defer sp.End()
 	sp.SetAttr("level", l)
 	sp.SetAttr("plane", k)
-	seg, err := readSegment(ctx, s.src, l, k)
-	sp.SetAttr("bytes", len(seg))
+	raw, payload, err := s.store.Fetch(ctx, l, k)
+	sp.SetAttr("bytes", payload)
 	if err != nil {
 		sp.Fail(err)
-		return nil, int64(len(seg)), err
 	}
-	if want := s.header.Levels[l].PlaneSizes[k]; int64(len(seg)) != want {
-		err := fmt.Errorf("core: session level %d plane %d payload is %d bytes, manifest says %d: %w",
-			l, k, len(seg), want, storage.ErrCorrupt)
-		sp.Fail(err)
-		return nil, int64(len(seg)), err
-	}
-	raw, err := s.codec.Decompress(seg, s.header.Levels[l].RawPlaneSize)
-	if err != nil {
-		err = fmt.Errorf("core: session level %d plane %d: %w", l, k, err)
-		sp.Fail(err)
-		return nil, int64(len(seg)), err
-	}
-	return raw, int64(len(seg)), nil
+	return raw, payload, err
 }
 
 // Refine plans greedily under est at an absolute tolerance, never dropping

@@ -55,6 +55,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablate-loss", "ablate-chain", "ablate-update", "ablate-greedy", "ablate-codec",
 		"ablate-pool", "ablate-augment", "ablate-session", "ablate-constant",
 		"ablate-encoding", "ablate-levels", "exp-hybrid", "exp-multifield", "exp-baselines",
+		"exp-shard",
 	}
 	reg := Registry()
 	for _, id := range want {
@@ -409,5 +410,45 @@ func TestWriteCSVAndRunCSV(t *testing.T) {
 	}
 	if _, err := RunCSV("nope", Quick(), dir); err == nil {
 		t.Fatal("unknown id accepted")
+	}
+}
+
+// TestExpShardScalesWithNodes runs the shard-tier sweep at Quick scale and
+// pins its scaling contract: the read workload is identical across node
+// counts, and the aggregate node-cache hit rate grows with node count
+// because each node adds cache bytes (per-node budget is 40% of the
+// artifact, so one node cannot hold the working set but three together
+// over-provision it). Wall-clock throughput is reported but not asserted —
+// it is too noisy on shared CI hosts.
+func TestExpShardScalesWithNodes(t *testing.T) {
+	tables := runQuick(t, "exp-shard")
+	rows := tables[0].Rows
+	if len(rows) != 3 {
+		t.Fatalf("sweep produced %d rows, want 3 (nodes 1..3)", len(rows))
+	}
+	prevHit := -1.0
+	for i, row := range rows {
+		if row[0] != strconv.Itoa(i+1) {
+			t.Fatalf("row %d nodes = %q, want %d", i, row[0], i+1)
+		}
+		if row[1] != rows[0][1] {
+			t.Fatalf("row %d reads = %q, want %q (same workload at every node count)", i, row[1], rows[0][1])
+		}
+		hit := cellFloat(t, row[4])
+		if hit < 0 || hit > 1 {
+			t.Fatalf("row %d hit rate %v out of [0,1]", i, hit)
+		}
+		// Placement skew and LRU churn wiggle the exact numbers; the trend
+		// must still be monotone within a small tolerance.
+		if hit < prevHit-0.05 {
+			t.Fatalf("hit rate fell from %.3f to %.3f as nodes grew", prevHit, hit)
+		}
+		prevHit = hit
+	}
+	if first := cellFloat(t, rows[0][4]); first > 0.7 {
+		t.Fatalf("1-node hit rate %.3f too high: the 40%% budget should not hold the working set", first)
+	}
+	if last := cellFloat(t, rows[2][4]); last < 0.8 {
+		t.Fatalf("3-node hit rate %.3f too low: 120%% aggregate budget should serve mostly warm", last)
 	}
 }

@@ -44,6 +44,7 @@ func Registry() map[string]Runner {
 		{ID: "exp-hybrid", Paper: "extension — combined D+E control (paper §IV-E future work)", Run: ExpHybrid},
 		{ID: "exp-multifield", Paper: "extension — per-application (joint) D-MGARD training", Run: ExpMultiField},
 		{ID: "exp-baselines", Paper: "extension — one-shot SZ/ZFP archives vs progressive (§I motivation)", Run: ExpBaselines},
+		{ID: "exp-shard", Paper: "extension — shard-tier node-count scaling (router over /planes nodes)", Run: ExpShard},
 	}
 	m := make(map[string]Runner, len(runners))
 	for _, r := range runners {

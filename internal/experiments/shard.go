@@ -1,0 +1,300 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"pmgard/internal/core"
+	"pmgard/internal/obs"
+	"pmgard/internal/servecache"
+	"pmgard/internal/shard"
+)
+
+// shardWorkers is the concurrent reader count of the sweep's timed round.
+const shardWorkers = 4
+
+// ShardPoint is one node-count measurement of the shard-tier sweep: a
+// router issuing a fixed random plane-read workload against n /planes
+// nodes, each holding a servecache whose budget is a fixed fraction of the
+// artifact, so aggregate cache bytes — and the warm-read fraction — grow
+// with node count.
+type ShardPoint struct {
+	// Nodes is the node count of this configuration.
+	Nodes int `json:"nodes"`
+	// Reads is the number of timed plane reads issued through the router.
+	Reads int `json:"reads"`
+	// Seconds is the wall time of the timed round.
+	Seconds float64 `json:"seconds"`
+	// ReadsPerSec is Reads / Seconds.
+	ReadsPerSec float64 `json:"reads_per_sec"`
+	// HitRate is the aggregate node-cache hit fraction over the timed
+	// round (hits / (hits+misses) summed across nodes).
+	HitRate float64 `json:"hit_rate"`
+	// Speedup is ReadsPerSec relative to the sweep's first configuration.
+	Speedup float64 `json:"speedup"`
+}
+
+// shardBenchSource adapts the shared artifact to shard.NodeSource for one
+// bench node: fetches go through the node's own servecache over the shared
+// PlaneStore, exactly like cmd/serve's node role.
+type shardBenchSource struct {
+	h     *core.Header
+	cache *servecache.Cache
+	store *core.PlaneStore
+	key   servecache.Key // Codec/Field template; Level/Plane filled per read
+}
+
+func (s *shardBenchSource) PlaneField(name string) (shard.NodeField, bool) {
+	if name != s.h.FieldName {
+		return shard.NodeField{}, false
+	}
+	return shard.NodeField{
+		Header: s.h,
+		Fetch: func(ctx context.Context, level, plane int) ([]byte, int64, error) {
+			k := s.key
+			k.Level, k.Plane = level, plane
+			raw, payload, _, err := s.cache.GetOrFetchFromCtx(ctx, k, s.store)
+			return raw, payload, err
+		},
+	}, true
+}
+
+func (s *shardBenchSource) PlaneFields() []string { return []string{s.h.FieldName} }
+
+// shardBenchNode is one running bench node: its HTTP server, listener URL
+// and the obs registry its servecache counters live in.
+type shardBenchNode struct {
+	o   *obs.Obs
+	srv *http.Server
+	url string
+}
+
+// startShardBenchNode serves the artifact's planes on a loopback listener
+// through a fresh cache with the given byte budget.
+func startShardBenchNode(h *core.Header, store *core.PlaneStore, budget int64, key servecache.Key) (*shardBenchNode, error) {
+	o := obs.New()
+	cache := servecache.New(budget)
+	cache.Instrument(o)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("experiments: shard bench listener: %w", err)
+	}
+	srv := &http.Server{Handler: shard.NewNodeHandler(&shardBenchSource{h: h, cache: cache, store: store, key: key}, o)}
+	go srv.Serve(ln)
+	return &shardBenchNode{o: o, srv: srv, url: "http://" + ln.Addr().String()}, nil
+}
+
+// cacheCounts sums servecache hits and misses across the nodes' registries.
+func cacheCounts(nodes []*shardBenchNode) (hits, misses int64) {
+	for _, n := range nodes {
+		snap := n.o.Metrics.Snapshot()
+		hits += snap.Counters["servecache.hits"]
+		misses += snap.Counters["servecache.misses"]
+	}
+	return hits, misses
+}
+
+// ShardSweep measures warm-cache read throughput of the shard tier as the
+// node count grows. One WarpX artifact backs every configuration; each node
+// gets a servecache budgeted at 40% of the artifact's decompressed bytes,
+// so one node cannot hold the working set but three nodes together over-
+// provision it. Per node count it starts real HTTP /planes nodes on
+// loopback, routes a seeded uniform-random read workload (16 reads per
+// plane, 4 concurrent workers, replication 1) through a shard.Router after
+// one warming pass, and reports throughput plus the aggregate node-cache
+// hit rate of the timed round.
+//
+// On a single-vCPU host the scaling is pure work elimination — more
+// aggregate cache bytes mean fewer store reads and lossless decompressions
+// — not CPU parallelism.
+func ShardSweep(p Params, nodeCounts []int) ([]ShardPoint, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if len(nodeCounts) == 0 {
+		return nil, fmt.Errorf("experiments: shard sweep has no node counts")
+	}
+	c, err := compressWarpX(p, "Jx", 1)
+	if err != nil {
+		return nil, err
+	}
+	// Serve from a store file, as cmd/serve's node role does: a cache miss
+	// pays a ranged file read plus lossless decompression, which is the
+	// work the growing aggregate cache eliminates.
+	dir, err := os.MkdirTemp("", "pmgard-shard-")
+	if err != nil {
+		return nil, fmt.Errorf("experiments: shard sweep: %w", err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "jx.pmgd")
+	if err := c.WriteFile(path); err != nil {
+		return nil, err
+	}
+	h, st, err := core.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	store, err := core.NewPlaneStore(h, core.StoreSource{Store: st})
+	if err != nil {
+		return nil, err
+	}
+	var totalRaw int64
+	for _, lv := range h.Levels {
+		totalRaw += int64(lv.RawPlaneSize) * int64(h.Planes)
+	}
+	budget := totalRaw * 2 / 5
+	if budget < 1 {
+		budget = 1
+	}
+	points := make([]ShardPoint, 0, len(nodeCounts))
+	for _, n := range nodeCounts {
+		pt, err := shardRound(p, h, store, n, budget)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, pt)
+	}
+	for i := range points {
+		points[i].Speedup = points[i].ReadsPerSec / points[0].ReadsPerSec
+	}
+	return points, nil
+}
+
+// shardRound runs one node-count configuration of the sweep.
+func shardRound(p Params, h *core.Header, store *core.PlaneStore, n int, budget int64) (ShardPoint, error) {
+	tmpl := servecache.Key{Codec: h.Codec(), Field: fmt.Sprintf("%s@%d", h.FieldName, h.Timestep)}
+	nodes := make([]*shardBenchNode, 0, n)
+	defer func() {
+		for _, node := range nodes {
+			node.srv.Close()
+		}
+	}()
+	mapJSON := `{"nodes": [`
+	for i := 0; i < n; i++ {
+		node, err := startShardBenchNode(h, store, budget, tmpl)
+		if err != nil {
+			return ShardPoint{}, err
+		}
+		nodes = append(nodes, node)
+		if i > 0 {
+			mapJSON += ","
+		}
+		mapJSON += fmt.Sprintf(`{"name": "n%d", "url": %q}`, i, node.url)
+	}
+	mapJSON += `], "replication": 1}`
+	m, err := shard.ParseMap([]byte(mapJSON))
+	if err != nil {
+		return ShardPoint{}, err
+	}
+	// Default transports keep only two idle connections per host; with more
+	// concurrent workers than that, every extra request pays a TCP dial,
+	// which would swamp the cache effect being measured.
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: shardWorkers, MaxIdleConns: n * shardWorkers}}
+	defer client.CloseIdleConnections()
+	r, err := shard.NewRouter(shard.RouterConfig{Map: m, Client: client, Obs: obs.New()})
+	if err != nil {
+		return ShardPoint{}, err
+	}
+	fc := r.FieldClient(h)
+
+	keys := make([]servecache.Key, 0, len(h.Levels)*h.Planes)
+	for level := range h.Levels {
+		for plane := 0; plane < h.Planes; plane++ {
+			k := tmpl
+			k.Level, k.Plane = level, plane
+			keys = append(keys, k)
+		}
+	}
+	ctx := context.Background()
+	// Warming pass: touch every plane once so the timed round measures the
+	// steady state (each node's LRU holds whatever fits of its partition).
+	for _, k := range keys {
+		if _, _, err := fc.FetchPlaneCtx(ctx, k); err != nil {
+			return ShardPoint{}, fmt.Errorf("experiments: shard warmup (%d,%d): %w", k.Level, k.Plane, err)
+		}
+	}
+	hits0, misses0 := cacheCounts(nodes)
+
+	rng := rand.New(rand.NewSource(p.Seed*1000 + int64(n)))
+	reads := 16 * len(keys)
+	workload := make([]servecache.Key, reads)
+	for i := range workload {
+		workload[i] = keys[rng.Intn(len(keys))]
+	}
+	errs := make([]error, shardWorkers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < shardWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < reads; i += shardWorkers {
+				if _, _, err := fc.FetchPlaneCtx(ctx, workload[i]); err != nil && errs[w] == nil {
+					errs[w] = err
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return ShardPoint{}, fmt.Errorf("experiments: shard timed round: %w", err)
+		}
+	}
+	hits1, misses1 := cacheCounts(nodes)
+	hits, misses := hits1-hits0, misses1-misses0
+	var hitRate float64
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	if elapsed <= 0 {
+		elapsed = 1e-9
+	}
+	return ShardPoint{
+		Nodes:       n,
+		Reads:       reads,
+		Seconds:     elapsed,
+		ReadsPerSec: float64(reads) / elapsed,
+		HitRate:     hitRate,
+	}, nil
+}
+
+// ExpShard is the exp-shard runner: the node-count sweep at 1, 2 and 3
+// nodes, tabulated.
+func ExpShard(p Params) ([]*Table, error) {
+	points, err := ShardSweep(p, []int{1, 2, 3})
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{ShardTable(points)}, nil
+}
+
+// ShardTable formats sweep points as the exp-shard table; cmd/bench reuses
+// it when recording BENCH_shard.json so the printed table and the JSON
+// record come from one run.
+func ShardTable(points []ShardPoint) *Table {
+	t := &Table{
+		ID:    "exp-shard",
+		Title: "Shard tier scaling: random plane reads through the router vs node count",
+		Note: "One artifact, per-node cache budget 40% of its decompressed bytes, replication 1. " +
+			"Throughput grows with node count because aggregate cache bytes grow — misses pay a " +
+			"store read plus lossless decompression. On a single-vCPU host the gain is work " +
+			"elimination, not parallelism.",
+		Columns: []string{"nodes", "reads", "seconds", "reads_per_sec", "hit_rate", "speedup"},
+	}
+	for _, pt := range points {
+		t.AddRow(pt.Nodes, pt.Reads, fmt.Sprintf("%.3f", pt.Seconds),
+			fmt.Sprintf("%.0f", pt.ReadsPerSec), fmt.Sprintf("%.3f", pt.HitRate),
+			fmt.Sprintf("%.2f", pt.Speedup))
+	}
+	return t
+}

@@ -163,6 +163,25 @@ func (b *Breaker) State() State {
 	return b.state
 }
 
+// RetryAfter returns how long the breaker will keep refusing reads — the
+// cooldown remaining on the current open period — and 0 when the breaker
+// is not open. Serving layers derive 503 Retry-After headers from it, so a
+// well-behaved client backs off for exactly as long as the breaker will
+// reject it rather than a hardcoded constant.
+func (b *Breaker) RetryAfter() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advanceLocked()
+	if b.state != StateOpen {
+		return 0
+	}
+	d := b.cfg.Cooldown - b.cfg.Now().Sub(b.openedAt)
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
 // advanceLocked moves an open breaker whose cooldown has expired to
 // half-open. b.mu must be held.
 func (b *Breaker) advanceLocked() {

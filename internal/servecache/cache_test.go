@@ -168,6 +168,71 @@ func TestOversizePlaneIsServedButNotCached(t *testing.T) {
 	}
 }
 
+// TestOversizePlaneUnderConcurrency pins the oversize path's concurrency
+// contract: a wave of goroutines missing on a plane bigger than the whole
+// budget still coalesces onto one store read, everyone gets the bytes, the
+// entry is never inserted (no poisoning — the next wave misses again and
+// pays exactly one more read), and the oversize counter counts insert
+// attempts, not waiters.
+func TestOversizePlaneUnderConcurrency(t *testing.T) {
+	c := New(16)
+	key := Key{Field: "f", Level: 0, Plane: 0}
+	var calls atomic.Int64
+	const m, waves = 16, 3
+	for wave := 0; wave < waves; wave++ {
+		release := make(chan struct{})
+		fetch := func() ([]byte, int64, error) {
+			calls.Add(1)
+			<-release
+			return bytes.Repeat([]byte{7}, 64), 32, nil
+		}
+		var started, done sync.WaitGroup
+		started.Add(m)
+		done.Add(m)
+		errs := make([]error, m)
+		for i := 0; i < m; i++ {
+			go func(i int) {
+				defer done.Done()
+				started.Done()
+				raw, payload, hit, err := c.GetOrFetch(key, fetch)
+				switch {
+				case err != nil:
+					errs[i] = err
+				case hit:
+					errs[i] = fmt.Errorf("oversize plane reported as a cache hit")
+				case len(raw) != 64 || payload != 32:
+					errs[i] = fmt.Errorf("wrong result len=%d payload=%d", len(raw), payload)
+				}
+			}(i)
+		}
+		started.Wait()
+		close(release)
+		done.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("wave %d goroutine %d: %v", wave, i, err)
+			}
+		}
+		if got := calls.Load(); got != int64(wave+1) {
+			t.Fatalf("after wave %d the store served %d reads, want %d (one per wave)", wave, got, wave+1)
+		}
+	}
+	st := c.Stats()
+	if st.Oversize != waves {
+		t.Fatalf("oversize = %d, want %d (one insert attempt per wave)", st.Oversize, waves)
+	}
+	if st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("stats = %+v: oversize plane leaked into the cache", st)
+	}
+	// The budget is still fully available: a plane that fits caches fine.
+	small := Key{Field: "f", Level: 0, Plane: 1}
+	var smallCalls atomic.Int64
+	c.GetOrFetch(small, fetchFor(small, &smallCalls, 8))
+	if _, _, hit, _ := c.GetOrFetch(small, fetchFor(small, &smallCalls, 8)); !hit {
+		t.Fatal("small plane not cached after oversize churn")
+	}
+}
+
 func TestErrorsAreNotCached(t *testing.T) {
 	c := New(0)
 	key := Key{Field: "f", Level: 0, Plane: 0}

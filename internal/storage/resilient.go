@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -68,6 +67,18 @@ func Classify(err error) FaultClass {
 type PlaneSource interface {
 	// Segment returns the compressed payload of plane k of level l.
 	Segment(level, plane int) ([]byte, error)
+}
+
+// PlaneSourceCtx is the context-aware extension of PlaneSource, matching
+// core.ContextSource. A RetryingSource forwards the per-call context to
+// sources that implement it, so context values (trace propagation) and
+// cancellation reach the underlying read — essential for network-backed
+// sources like the shard router's node client, where the context carries
+// the traceparent and aborting an abandoned read actually closes the
+// connection.
+type PlaneSourceCtx interface {
+	// SegmentCtx is Segment bounded by ctx.
+	SegmentCtx(ctx context.Context, level, plane int) ([]byte, error)
 }
 
 // RetryPolicy bounds the retry loop of a RetryingSource.
@@ -185,9 +196,10 @@ type RetryingSource struct {
 	src PlaneSource
 	pol RetryPolicy
 	ctx context.Context
+	// seed drives the per-attempt derived jitter stream; see backoff.
+	seed uint64
 
 	mu          sync.Mutex
-	rng         *rand.Rand
 	quarantined map[SegmentID]error
 	c           retryCounters
 }
@@ -206,7 +218,7 @@ func NewRetryingSource(ctx context.Context, src PlaneSource, pol RetryPolicy) *R
 		src:         src,
 		pol:         pol.withDefaults(),
 		ctx:         ctx,
-		rng:         rand.New(rand.NewSource(seed)),
+		seed:        uint64(seed),
 		quarantined: make(map[SegmentID]error),
 		c:           newRetryCounters(),
 	}
@@ -304,7 +316,7 @@ func (r *RetryingSource) segmentCtx(ctx context.Context, level, plane int) ([]by
 		}
 		if attempt < r.pol.MaxAttempts {
 			r.c.retries.Add(1)
-			d := r.backoff(attempt)
+			d := r.backoff(level, plane, attempt)
 			r.c.backoff.Add(d.Seconds())
 			if err := r.sleep(ctx, d); err != nil {
 				return nil, fmt.Errorf("storage: read level %d plane %d: %w", level, plane, err)
@@ -351,8 +363,14 @@ func (r *RetryingSource) sleep(ctx context.Context, d time.Duration) error {
 // own goroutine so a hung tier cannot stall the retriever; an abandoned
 // read finishes (and is discarded) in the background.
 func (r *RetryingSource) readOnce(ctx context.Context, level, plane int) ([]byte, error) {
+	// Context-aware sources get the per-call context so trace values and
+	// cancellation reach the read itself, not just the select below.
+	read := r.src.Segment
+	if cs, ok := r.src.(PlaneSourceCtx); ok {
+		read = func(level, plane int) ([]byte, error) { return cs.SegmentCtx(ctx, level, plane) }
+	}
 	if r.pol.Timeout <= 0 && r.ctx.Done() == nil && ctx.Done() == nil {
-		return r.src.Segment(level, plane)
+		return read(level, plane)
 	}
 	type result struct {
 		payload []byte
@@ -361,7 +379,7 @@ func (r *RetryingSource) readOnce(ctx context.Context, level, plane int) ([]byte
 	ch := make(chan result, 1)
 	var abandoned atomic.Bool
 	go func() {
-		p, err := r.src.Segment(level, plane)
+		p, err := read(level, plane)
 		// An abandoned read still moved payload bytes off the tier; account
 		// them as waste so fetched-byte totals reflect real transfer cost.
 		// (A read finishing in the instant between the timeout firing and
@@ -402,17 +420,35 @@ func (r *RetryingSource) readOnce(ctx context.Context, level, plane int) ([]byte
 }
 
 // backoff returns the exponential equal-jitter delay before retry
-// `attempt` (1-based): base·2^(attempt-1) capped at MaxDelay, scaled into
-// [½, 1] by the seeded jitter stream.
-func (r *RetryingSource) backoff(attempt int) time.Duration {
+// `attempt` (1-based) of a read of (level, plane): base·2^(attempt-1)
+// capped at MaxDelay, scaled into [½, 1) by a jitter fraction derived
+// statelessly from the seed and the read's coordinates. Deriving the
+// fraction per attempt instead of drawing from a shared rand.Rand keeps
+// every read's backoff schedule a pure function of the seed: concurrent
+// sessions retrying different planes can no longer interleave draws and
+// perturb each other's schedules, so seed-determinism survives
+// concurrency (and the draw needs no lock).
+func (r *RetryingSource) backoff(level, plane, attempt int) time.Duration {
 	d := r.pol.BaseDelay << uint(attempt-1)
 	if d <= 0 || d > r.pol.MaxDelay {
 		d = r.pol.MaxDelay
 	}
-	r.mu.Lock()
-	frac := 0.5 + 0.5*r.rng.Float64()
-	r.mu.Unlock()
+	frac := 0.5 + 0.5*jitterFrac(r.seed, level, plane, attempt)
 	return time.Duration(float64(d) * frac)
+}
+
+// jitterFrac hashes (seed, level, plane, attempt) to a uniform fraction in
+// [0, 1) using splitmix64 finalizer rounds — cheap, stateless, and stable
+// across processes.
+func jitterFrac(seed uint64, level, plane, attempt int) float64 {
+	x := seed
+	for _, v := range [...]uint64{uint64(level), uint64(plane), uint64(attempt)} {
+		x += 0x9e3779b97f4a7c15 + v
+		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+		x ^= x >> 31
+	}
+	return float64(x>>11) / (1 << 53)
 }
 
 // Stats returns a snapshot of the retry counters.

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"reflect"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -191,6 +193,70 @@ func TestRetryingSourceBackoffIsBoundedAndJittered(t *testing.T) {
 	// Exponential up to the cap: the later delays must exceed the first.
 	if delays[3] <= delays[0] {
 		t.Fatalf("backoff not growing: %v", delays)
+	}
+}
+
+// TestRetryingSourceJitterDeterministicUnderConcurrency pins the fix for
+// the shared-jitter-stream bug: backoff delays are a pure function of
+// (seed, level, plane, attempt), so the multiset of delays a workload
+// produces is identical whether its reads run sequentially or race each
+// other. Before the fix, concurrent sessions interleaved draws from one
+// shared rand.Rand, perturbing each other's schedules and breaking
+// seed-determinism. Run under -race, this also hammers concurrent retries
+// through one RetryingSource.
+func TestRetryingSourceJitterDeterministicUnderConcurrency(t *testing.T) {
+	const planes = 10
+	run := func(concurrent bool) []time.Duration {
+		var mu sync.Mutex
+		var delays []time.Duration
+		src := newScripted()
+		for k := 0; k < planes; k++ {
+			src.failures[SegmentID{Level: 0, Plane: k}] = 2
+		}
+		pol := DefaultRetryPolicy()
+		pol.BaseDelay = time.Millisecond
+		pol.MaxDelay = 16 * time.Millisecond
+		pol.JitterSeed = 42
+		pol.Sleep = func(d time.Duration) {
+			mu.Lock()
+			delays = append(delays, d)
+			mu.Unlock()
+		}
+		r := NewRetryingSource(nil, src, pol)
+		if concurrent {
+			var wg sync.WaitGroup
+			for k := 0; k < planes; k++ {
+				wg.Add(1)
+				go func(k int) {
+					defer wg.Done()
+					if _, err := r.Segment(0, k); err != nil {
+						t.Error(err)
+					}
+				}(k)
+			}
+			wg.Wait()
+		} else {
+			for k := 0; k < planes; k++ {
+				if _, err := r.Segment(0, k); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		sort.Slice(delays, func(i, j int) bool { return delays[i] < delays[j] })
+		return delays
+	}
+	seq := run(false)
+	conc := run(true)
+	if len(seq) != 2*planes {
+		t.Fatalf("sequential run slept %d times, want %d", len(seq), 2*planes)
+	}
+	if !reflect.DeepEqual(seq, conc) {
+		t.Fatalf("delay multiset changed under concurrency:\nsequential %v\nconcurrent %v", seq, conc)
+	}
+	// Distinct planes must not share a schedule: a degenerate constant
+	// stream would also pass the multiset check.
+	if seq[0] == seq[planes-1] {
+		t.Fatalf("first-attempt delays all identical: %v", seq)
 	}
 }
 
