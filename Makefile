@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race cover fuzz bench bench-full experiments clean
+.PHONY: all build test vet race cover fuzz bench bench-parallel bench-scaling bench-full experiments clean
 
 all: build vet test
 
@@ -36,6 +36,15 @@ fuzz:
 # testing.B harness at smoke scale (one pass per figure).
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x .
+
+# Re-record the GOMAXPROCS scaling sweep of the streaming refactor
+# pipeline (BENCH_parallel.json).
+bench-parallel:
+	$(GO) run ./cmd/bench -dims 33,33,33 -parallel-out BENCH_parallel.json
+
+# Multi-core scaling gate (skips on single-core hosts).
+bench-scaling:
+	./ci/benchscaling.sh
 
 # Regenerate every paper table/figure at default scale (~25 min on 1 core).
 experiments:

@@ -1,0 +1,14 @@
+#!/bin/sh
+# bench-scaling smoke: on a multi-core runner, the streaming refactor
+# pipeline at GOMAXPROCS=2/workers=2 must finish in <= 0.9x the wall clock
+# of GOMAXPROCS=1/workers=1 (output bytes are bit-identical either way —
+# the golden equivalence tests enforce that; this gates the speedup).
+# Single-core hosts can't measure parallelism, so they skip.
+set -eu
+cd "$(dirname "$0")/.."
+cpus=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+if [ "$cpus" -lt 2 ]; then
+    echo "bench-scaling: skip ($cpus CPU online, need >= 2)"
+    exit 0
+fi
+exec go run ./cmd/bench -dims 33,33,33 -parallel-procs 1,2 -parallel-reps 3 -scaling-gate 0.9

@@ -34,6 +34,11 @@ func main() {
 		seed     = flag.Int64("seed", 0, "seed override")
 		csvDir   = flag.String("csv", "", "also write each table as CSV under this directory")
 		shardOut = flag.String("shard-out", "", "run the shard node-count sweep and write its JSON record to this path")
+
+		parallelOut   = flag.String("parallel-out", "", "run the GOMAXPROCS scaling sweep and write its JSON record to this path")
+		parallelProcs = flag.String("parallel-procs", "1,2,4,8", "comma-separated GOMAXPROCS values for -parallel-out")
+		parallelReps  = flag.Int("parallel-reps", 3, "repetitions per point for -parallel-out (best-of)")
+		scalingGate   = flag.Float64("scaling-gate", 0, "fail unless the procs=2 refactor wall clock is <= this fraction of procs=1 (0 = no gate)")
 	)
 	flag.Parse()
 
@@ -72,6 +77,23 @@ func main() {
 
 	if *shardOut != "" {
 		if err := recordShardSweep(p, *shardOut); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *parallelOut != "" || *scalingGate > 0 {
+		var procs []int
+		for _, s := range strings.Split(*parallelProcs, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || v < 1 {
+				fmt.Fprintf(os.Stderr, "bench: bad -parallel-procs %q\n", *parallelProcs)
+				os.Exit(2)
+			}
+			procs = append(procs, v)
+		}
+		if err := recordParallelSweep(p, procs, *parallelReps, *parallelOut, *scalingGate); err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
 		}
@@ -146,5 +168,82 @@ func recordShardSweep(p experiments.Params, path string) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// recordParallelSweep runs the GOMAXPROCS scaling sweep, prints its table,
+// optionally writes the machine-readable record (the BENCH_parallel.json
+// document) and optionally enforces the CI scaling gate.
+func recordParallelSweep(p experiments.Params, procs []int, reps int, path string, gate float64) error {
+	points, err := experiments.ParallelSweep(p, procs, reps)
+	if err != nil {
+		return err
+	}
+	if err := experiments.ParallelTable(points).Fprint(os.Stdout); err != nil {
+		return err
+	}
+	if path != "" {
+		dims := make([]string, len(p.WarpXDims))
+		for i, d := range p.WarpXDims {
+			dims[i] = strconv.Itoa(d)
+		}
+		regen := fmt.Sprintf("go run ./cmd/bench -dims %s -parallel-out %s", strings.Join(dims, ","), path)
+		note := "Recorded on a multi-core host: each point pins GOMAXPROCS and the pipeline worker " +
+			"count together, so refactor speedup reflects the (level, plane) fan-out of the streaming " +
+			"pipeline running on real cores."
+		if runtime.NumCPU() < 2 {
+			note = "Recorded on a single-vCPU container (GOMAXPROCS=1): goroutines are concurrent but " +
+				"not parallel, so every point shares one core and the sweep measures scheduling overhead, " +
+				"not speedup. On a multi-core machine the (level, plane) fan-out of the streaming pipeline " +
+				"is embarrassingly parallel and scales with cores; re-record this file there."
+		}
+		doc := map[string]any{
+			"description": "GOMAXPROCS scaling sweep of the streaming refactor pipeline (decompose + " +
+				"bit-plane encode + deflate + ordered segment merge, stage-overlapped) and the parallel " +
+				"retrieval path. Each point pins GOMAXPROCS and the worker count to the same value; " +
+				"output bytes are bit-identical at every point (enforced by the golden equivalence " +
+				"tests), only wall clock moves. Best of " + strconv.Itoa(reps) + " reps per point. " +
+				"Regenerate with: " + regen,
+			"date":   time.Now().Format("2006-01-02"),
+			"goos":   runtime.GOOS,
+			"goarch": runtime.GOARCH,
+			"cpus":   runtime.NumCPU(),
+			"note":   note,
+			"benchmarks": map[string]any{
+				"ParallelSweep": map[string]any{
+					"field":  fmt.Sprintf("WarpX Jx %v, default codec config, seed %d", p.WarpXDims, p.Seed),
+					"points": points,
+				},
+			},
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	if gate > 0 {
+		var ns1, ns2 int64
+		for _, pt := range points {
+			switch pt.Procs {
+			case 1:
+				ns1 = pt.RefactorNs
+			case 2:
+				ns2 = pt.RefactorNs
+			}
+		}
+		if ns1 == 0 || ns2 == 0 {
+			return fmt.Errorf("scaling gate needs procs 1 and 2 in -parallel-procs")
+		}
+		if float64(ns2) > gate*float64(ns1) {
+			return fmt.Errorf("scaling gate failed: procs=2 refactor %dms > %.2f x procs=1 %dms",
+				ns2/1e6, gate, ns1/1e6)
+		}
+		fmt.Printf("scaling gate ok: procs=2 refactor %.2fx of procs=1 (gate %.2f)\n",
+			float64(ns2)/float64(ns1), gate)
+	}
 	return nil
 }

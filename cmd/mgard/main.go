@@ -68,6 +68,8 @@ func cmdCompress(args []string) error {
 	in := fs.String("in", "", "input field file")
 	out := fs.String("out", "", "output .pmgd file")
 	tiered := fs.String("tiered", "", "output tiered-store directory (instead of -out)")
+	tiles := fs.String("tiles", "", "output tiled-artifact directory for out-of-core compression (instead of -out)")
+	memBudget := fs.String("mem-budget", "", "working-set byte cap for -tiles, e.g. 64M or 1G (0 = one tile)")
 	levels := fs.Int("levels", 5, "coefficient levels")
 	planes := fs.Int("planes", 32, "bit-planes per level")
 	codec := fs.String("codec", "deflate", "lossless codec: deflate, rle, huffman, raw")
@@ -75,14 +77,10 @@ func cmdCompress(args []string) error {
 	var of obs.Flags
 	of.Register(fs)
 	fs.Parse(args)
-	if *in == "" || (*out == "" && *tiered == "") {
-		return fmt.Errorf("compress: -in and one of -out/-tiered are required")
+	if *in == "" || (*out == "" && *tiered == "" && *tiles == "") {
+		return fmt.Errorf("compress: -in and one of -out/-tiered/-tiles are required")
 	}
 	o, err := of.Start(os.Stderr)
-	if err != nil {
-		return err
-	}
-	meta, field, err := fieldio.Read(*in)
 	if err != nil {
 		return err
 	}
@@ -97,26 +95,84 @@ func cmdCompress(args []string) error {
 		Parallelism: *workers,
 		Obs:         o,
 	}
-	c, err := core.Compress(field, cfg, meta.Field, meta.Timestep)
+
+	if *tiles != "" {
+		// Out-of-core: the field is streamed slab by slab through the
+		// windowed reader; it is never resident in full.
+		budget, err := parseBytes(*memBudget)
+		if err != nil {
+			return fmt.Errorf("compress: -mem-budget: %w", err)
+		}
+		r, err := fieldio.OpenReader(*in)
+		if err != nil {
+			return err
+		}
+		defer r.Close()
+		ts, err := core.CompressTiled(r, cfg, *tiles, core.TileOptions{MemBudget: budget})
+		if err != nil {
+			return err
+		}
+		raw := int64(8)
+		for _, d := range ts.Dims {
+			raw *= int64(d)
+		}
+		stored := ts.TotalBytes()
+		fmt.Printf("compressed %s (t=%d, dims %v) into %d tiles: %d → %d payload bytes (%.2fx)\n",
+			ts.Field, ts.Timestep, ts.Dims, len(ts.Tiles), raw, stored, float64(raw)/float64(stored))
+		return of.Finish(o)
+	}
+
+	meta, field, err := fieldio.Read(*in)
 	if err != nil {
 		return err
 	}
+	var h *core.Header
 	if *tiered != "" {
 		hier, err := storage.DefaultHierarchy(*levels)
 		if err != nil {
 			return err
 		}
-		if err := c.WriteTiered(*tiered, hier); err != nil {
+		h, err = core.CompressToTiered(field, cfg, meta.Field, meta.Timestep, *tiered, hier)
+		if err != nil {
 			return err
 		}
-	} else if err := c.WriteFile(*out); err != nil {
-		return err
+	} else {
+		// Segments stream to disk as planes finish compressing; the
+		// output bytes are identical to the in-memory path at any worker
+		// count.
+		h, err = core.CompressToFile(field, cfg, meta.Field, meta.Timestep, *out)
+		if err != nil {
+			return err
+		}
 	}
 	raw := int64(8 * field.Len())
-	stored := c.Header.TotalBytes()
+	stored := h.TotalBytes()
 	fmt.Printf("compressed %s (t=%d, dims %v): %d → %d payload bytes (%.2fx)\n",
 		meta.Field, meta.Timestep, field.Dims(), raw, stored, float64(raw)/float64(stored))
 	return of.Finish(o)
+}
+
+// parseBytes parses a byte size like "67108864", "64M" or "1G"; empty
+// means 0.
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "G"), strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad byte size %q", s)
+	}
+	return v * mult, nil
 }
 
 func cmdInspect(args []string) error {
@@ -150,6 +206,7 @@ func cmdRetrieve(args []string) error {
 	fs := flag.NewFlagSet("retrieve", flag.ExitOnError)
 	in := fs.String("in", "", "input .pmgd file")
 	tiered := fs.String("tiered", "", "input tiered-store directory (instead of -in)")
+	tiles := fs.String("tiles", "", "input tiled-artifact directory (instead of -in); streams slabs to -out")
 	rel := fs.Float64("rel", 0, "relative error bound")
 	abs := fs.Float64("abs", 0, "absolute error bound (overrides -rel)")
 	control := fs.String("control", "theory", "error control: theory, emgard or planes")
@@ -164,12 +221,41 @@ func cmdRetrieve(args []string) error {
 	var of obs.Flags
 	of.Register(fs)
 	fs.Parse(args)
-	if *in == "" && *tiered == "" {
-		return fmt.Errorf("retrieve: -in or -tiered is required")
+	if *in == "" && *tiered == "" && *tiles == "" {
+		return fmt.Errorf("retrieve: -in, -tiered or -tiles is required")
 	}
 	o, oErr := of.Start(os.Stderr)
 	if oErr != nil {
 		return oErr
+	}
+	if *tiles != "" {
+		if *out == "" {
+			return fmt.Errorf("retrieve: -tiles requires -out (slabs stream to a field file)")
+		}
+		if *rel == 0 {
+			return fmt.Errorf("retrieve: -tiles requires -rel")
+		}
+		ts, stats, err := core.RetrieveTiledRel(*tiles, *rel, *out, *workers)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("retrieved %d tiles: %d of %d stored bytes (%.1f%%)\n",
+			len(ts.Tiles), stats.BytesFetched, stats.BytesStored,
+			100*float64(stats.BytesFetched)/float64(stats.BytesStored))
+		if *orig != "" {
+			_, origField, err := fieldio.Read(*orig)
+			if err != nil {
+				return err
+			}
+			_, rec, err := fieldio.Read(*out)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("achieved max abs error: %.6e (requested %.6e)\n",
+				grid.MaxAbsDiff(origField, rec), *rel*ts.ValueRange)
+		}
+		fmt.Printf("wrote reconstruction to %s\n", *out)
+		return of.Finish(o)
 	}
 	var h *core.Header
 	var src core.SegmentSource

@@ -242,3 +242,49 @@ func requireStages(t *testing.T, path string, names ...string) {
 		}
 	}
 }
+
+// TestTiledFlow drives the out-of-core path end to end: compress with a
+// memory budget into a tiled artifact, retrieve it back streaming, and
+// check the reconstruction against the original within the bound.
+func TestTiledFlow(t *testing.T) {
+	dir := t.TempDir()
+	f, err := warpx.DefaultConfig(24, 12, 12).Field("Jx", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	field := filepath.Join(dir, "jx.field")
+	if err := fieldio.Write(field, fieldio.Meta{Field: "Jx", Timestep: 3}, f); err != nil {
+		t.Fatal(err)
+	}
+	tiles := filepath.Join(dir, "tiles")
+	if err := cmdCompress([]string{"-in", field, "-tiles", tiles,
+		"-mem-budget", "64K", "-levels", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(tiles, "tiles.json")); err != nil {
+		t.Fatalf("manifest missing: %v", err)
+	}
+	recon := filepath.Join(dir, "recon.field")
+	if err := cmdRetrieve([]string{"-tiles", tiles, "-rel", "1e-3",
+		"-out", recon, "-orig", field}); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := fieldio.Read(recon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() != f.Len() {
+		t.Fatalf("reconstruction has %d cells, want %d", rec.Len(), f.Len())
+	}
+	// Validation: -tiles without -out or -rel is refused.
+	if err := cmdRetrieve([]string{"-tiles", tiles, "-rel", "1e-3"}); err == nil {
+		t.Error("tiled retrieve without -out accepted")
+	}
+	if err := cmdRetrieve([]string{"-tiles", tiles, "-out", recon}); err == nil {
+		t.Error("tiled retrieve without -rel accepted")
+	}
+	// Bad -mem-budget strings are rejected.
+	if err := cmdCompress([]string{"-in", field, "-tiles", tiles, "-mem-budget", "64Q"}); err == nil {
+		t.Error("bad mem-budget accepted")
+	}
+}

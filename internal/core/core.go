@@ -30,7 +30,6 @@ import (
 	"pmgard/internal/bitplane"
 	"pmgard/internal/codec"
 	"pmgard/internal/decompose"
-	"pmgard/internal/features"
 	"pmgard/internal/grid"
 	"pmgard/internal/lossless"
 	"pmgard/internal/obs"
@@ -252,74 +251,20 @@ type Compressed struct {
 // Compress runs the full compression pipeline on a field, fanning each
 // stage across cfg.Parallelism workers. The output is byte-identical for
 // every worker count.
+//
+// Compress is the in-memory façade over the streaming pipeline: it drives
+// CompressTo into a memory sink, so the stage overlap (deflate of level
+// l's planes while level l+1 encodes) applies here too. For artifacts that
+// go to disk anyway, CompressToFile and CompressToTiered skip the
+// in-memory accumulation entirely.
 func Compress(t *grid.Tensor, cfg Config, fieldName string, timestep int) (*Compressed, error) {
 	cfg = cfg.withDefaults()
-	workers := pool.Clamp(cfg.Parallelism)
-	o := cfg.Obs
-	root := o.Span("compress", nil)
-	root.SetAttr("field", fieldName)
-	defer root.End()
-	backend, err := codec.ByID(cfg.Backend)
+	sink := &memorySink{planes: cfg.Planes}
+	h, err := CompressTo(t, cfg, fieldName, timestep, sink)
 	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return nil, err
 	}
-	dec, err := backend.Decompose(t, codecOptions(cfg.Decompose), workers, o)
-	if err != nil {
-		return nil, fmt.Errorf("core: decompose: %w", err)
-	}
-	h := Header{
-		FieldName:       fieldName,
-		Timestep:        timestep,
-		Dims:            append([]int(nil), t.Dims()...),
-		Planes:          cfg.Planes,
-		CodecName:       cfg.Codec.Name(),
-		DecomposeLevels: cfg.Decompose.Levels,
-		Update:          cfg.Decompose.Update,
-		UpdateWeight:    cfg.Decompose.UpdateWeight,
-		ValueRange:      t.Range(),
-	}
-	// Pre-interface headers carry no codec tag; keeping the default
-	// backend's tag empty keeps its JSON — and hence its artifacts —
-	// byte-identical to theirs.
-	if id := backend.ID(); id != codec.DefaultID {
-		h.CodecID = id
-	}
-	for l := 0; l < dec.Levels(); l++ {
-		h.LevelPools = append(h.LevelPools, features.PoolLevel(dec.Coeffs(l), cfg.PoolSize))
-	}
-	c := &Compressed{segments: make([][][]byte, dec.Levels())}
-	var bytesOut int64
-	for l := 0; l < dec.Levels(); l++ {
-		enc, err := backend.EncodeLevel(dec.Coeffs(l), cfg.Planes, workers, o)
-		if err != nil {
-			return nil, fmt.Errorf("core: encode level %d: %w", l, err)
-		}
-		lm := LevelMeta{
-			N:        enc.N,
-			Exponent: enc.Exponent,
-			// The header outlives the pooled encoding, so it takes a copy.
-			ErrMatrix:    append([]float64(nil), enc.ErrMatrix...),
-			PlaneSizes:   make([]int64, cfg.Planes),
-			RawPlaneSize: enc.PlaneSizeRaw(),
-		}
-		segs, err := lossless.CompressSegmentsObs(cfg.Codec, enc.Bits, workers, o)
-		enc.Release()
-		if err != nil {
-			return nil, fmt.Errorf("core: compress level %d: %w", l, err)
-		}
-		c.segments[l] = segs
-		for k, seg := range segs {
-			lm.PlaneSizes[k] = int64(len(seg))
-			bytesOut += int64(len(seg))
-		}
-		h.Levels = append(h.Levels, lm)
-	}
-	c.Header = h
-	if o != nil {
-		o.Counter("core.compress.fields").Add(1)
-		o.Counter("core.compress.bytes_out").Add(bytesOut)
-	}
-	return c, nil
+	return &Compressed{Header: *h, segments: sink.segments}, nil
 }
 
 // SegmentSource yields compressed plane payloads during retrieval.

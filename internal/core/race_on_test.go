@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is active; allocation-count
+// guards skip under it because instrumented sync.Pool operations allocate.
+const raceEnabled = true

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"testing"
+
+	"pmgard/internal/bitplane"
+	"pmgard/internal/bufpool"
+	"pmgard/internal/grid"
+	"pmgard/internal/lossless"
+	"pmgard/internal/storage"
+)
+
+// TestCompressToFileGoldenEquivalence extends the golden equivalence
+// contract to the streaming path: the file CompressToFile streams to disk
+// must be byte-for-byte the file the in-memory Compress + WriteFile path
+// produces, at workers 1, 2, 4 and 8.
+func TestCompressToFileGoldenEquivalence(t *testing.T) {
+	f := seededField(77, 17, 17, 17)
+	dir := t.TempDir()
+
+	cfg := DefaultConfig()
+	cfg.Parallelism = 1
+	ref, err := Compress(f, cfg, "golden-stream", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refPath := filepath.Join(dir, "ref.pmgd")
+	if err := ref.WriteFile(refPath); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		cfg := DefaultConfig()
+		cfg.Parallelism = workers
+		path := filepath.Join(dir, "stream.pmgd")
+		h, err := CompressToFile(f, cfg, "golden-stream", 3, path)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d: streamed file differs from in-memory path (%d vs %d bytes)",
+				workers, len(got), len(want))
+		}
+		if h.TotalBytes() != ref.Header.TotalBytes() {
+			t.Fatalf("workers=%d: header TotalBytes %d, want %d", workers, h.TotalBytes(), ref.Header.TotalBytes())
+		}
+		// The streamed artifact round-trips through the normal reader.
+		h2, st, err := OpenFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, _, err := RetrieveTolerance(h2, StoreSource{Store: st}, h2.TheoryEstimator(), h2.AbsTolerance(1e-4))
+		st.Close()
+		if err != nil {
+			t.Fatalf("workers=%d: retrieve from streamed file: %v", workers, err)
+		}
+		if got := grid.MaxAbsDiff(f, rec); got > h2.AbsTolerance(1e-4) {
+			t.Fatalf("workers=%d: error %g exceeds tolerance", workers, got)
+		}
+	}
+}
+
+// TestCompressToTieredGoldenEquivalence checks the streaming tiered path
+// against Compress + WriteTiered: identical level files and identical
+// manifest bytes.
+func TestCompressToTieredGoldenEquivalence(t *testing.T) {
+	f := seededField(31, 17, 17, 17)
+	cfg := DefaultConfig()
+	cfg.Parallelism = 1
+	c, err := Compress(f, cfg, "golden-tier", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, err := storage.DefaultHierarchy(len(c.Header.Levels))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDir := filepath.Join(t.TempDir(), "ref")
+	if err := c.WriteTiered(refDir, hier); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 4} {
+		cfg := DefaultConfig()
+		cfg.Parallelism = workers
+		dir := filepath.Join(t.TempDir(), "stream")
+		if _, err := CompressToTiered(f, cfg, "golden-tier", 0, dir, hier); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		compareTrees(t, refDir, dir, workers)
+	}
+}
+
+// compareTrees asserts two directory trees hold identical files.
+func compareTrees(t *testing.T, wantRoot, gotRoot string, workers int) {
+	t.Helper()
+	err := filepath.Walk(wantRoot, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(wantRoot, path)
+		if err != nil {
+			return err
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		got, err := os.ReadFile(filepath.Join(gotRoot, rel))
+		if err != nil {
+			t.Errorf("workers=%d: %s: %v", workers, rel, err)
+			return nil
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("workers=%d: %s differs (%d vs %d bytes)", workers, rel, len(got), len(want))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompressToSinkError checks that a failing sink aborts the pipeline
+// with its error and leaves no committed file behind.
+func TestCompressToSinkError(t *testing.T) {
+	f := seededField(5, 9, 9, 9)
+	cfg := DefaultConfig()
+	cfg.Decompose.Levels = 2
+	for _, workers := range []int{1, 4} {
+		cfg.Parallelism = workers
+		path := filepath.Join(t.TempDir(), "out.pmgd")
+		// A sink that fails on a mid-stream segment.
+		sink := &failingSink{failAt: storage.SegmentID{Level: 1, Plane: 3}}
+		_, err := CompressTo(f, cfg, "f", 0, sink)
+		if err == nil {
+			t.Fatalf("workers=%d: sink error not surfaced", workers)
+		}
+		// CompressToFile with a failing segment write leaves no artifact.
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Fatalf("workers=%d: artifact exists after failure", workers)
+		}
+	}
+}
+
+type failingSink struct {
+	failAt storage.SegmentID
+}
+
+func (s *failingSink) WriteSegment(id storage.SegmentID, payload []byte) error {
+	if id == s.failAt {
+		return os.ErrInvalid
+	}
+	return nil
+}
+
+// TestStreamingEncodeSteadyStateAllocs is the CI allocation guard for the
+// streaming encode path: one steady-state pipeline cycle — encode a
+// level's bit-planes, deflate each into a recycled buffer, account it, and
+// release everything back to the pools — must not allocate.
+func TestStreamingEncodeSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under -race")
+	}
+	coeffs := make([]float64, 4096)
+	for i := range coeffs {
+		coeffs[i] = float64(i%97) / 97.0
+	}
+	codec := lossless.Deflate()
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	cycle := func() {
+		enc, err := bitplane.EncodeLevel(coeffs, 32)
+		if err != nil {
+			panic(err)
+		}
+		raw := enc.PlaneSizeRaw()
+		for k := 0; k < 32; k++ {
+			dst := bufpool.Bytes(raw + raw/8 + 64)[:0]
+			out, err := lossless.AppendCompress(codec, dst, enc.Bits[k])
+			if err != nil {
+				panic(err)
+			}
+			bufpool.PutBytes(out)
+		}
+		enc.Release()
+	}
+	// Warm the pools.
+	for i := 0; i < 3; i++ {
+		cycle()
+	}
+	if avg := testing.AllocsPerRun(20, cycle); avg != 0 {
+		t.Fatalf("steady-state streaming encode allocates %.2f allocs/op, want 0", avg)
+	}
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pmgard/internal/fieldio"
+	"pmgard/internal/grid"
+)
+
+// writeSeededFieldFile stores a seeded field for the out-of-core tests.
+func writeSeededFieldFile(t *testing.T, seed int64, dims ...int) (string, *grid.Tensor) {
+	t.Helper()
+	f := seededField(seed, dims...)
+	path := filepath.Join(t.TempDir(), "field.bin")
+	if err := fieldio.Write(path, fieldio.Meta{Field: "tiled", Timestep: 4}, f); err != nil {
+		t.Fatal(err)
+	}
+	return path, f
+}
+
+// TestCompressTiledUnderBudget is the acceptance check for the out-of-core
+// path: a field refactors under a memory budget far below its
+// materialized size, with the peak asserted through the tile allocator's
+// accounting hook, and the result round-trips within the requested
+// relative bound.
+func TestCompressTiledUnderBudget(t *testing.T) {
+	dims := []int{48, 24, 24}
+	path, f := writeSeededFieldFile(t, 9, dims...)
+	fieldBytes := int64(8 * f.Len())
+	budget := fieldBytes / 4
+
+	r, err := fieldio.OpenReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	cfg := DefaultConfig()
+	cfg.Decompose.Levels = 3
+	var alloc fieldio.TileAlloc
+	dir := filepath.Join(t.TempDir(), "tiles")
+	ts, err := CompressTiled(r, cfg, dir, TileOptions{MemBudget: budget, Alloc: &alloc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak := alloc.PeakBytes(); peak > budget {
+		t.Fatalf("peak tile bytes %d exceed budget %d", peak, budget)
+	}
+	if peak := alloc.PeakBytes(); peak >= fieldBytes/2 {
+		t.Fatalf("peak tile bytes %d not far below materialized size %d", peak, fieldBytes)
+	}
+	if live := alloc.LiveBytes(); live != 0 {
+		t.Fatalf("%d tile bytes leaked", live)
+	}
+	if len(ts.Tiles) < 2 {
+		t.Fatalf("budget produced %d tiles, want several", len(ts.Tiles))
+	}
+	if ts.ValueRange != f.Range() {
+		t.Fatalf("manifest range %g, want global %g", ts.ValueRange, f.Range())
+	}
+
+	// Manifest re-opens and the tiles partition the field.
+	ts2, err := OpenTileSet(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := 0
+	for _, ti := range ts2.Tiles {
+		n := 1
+		for _, s := range ti.Shape {
+			n *= s
+		}
+		covered += n
+	}
+	if covered != f.Len() {
+		t.Fatalf("tiles cover %d of %d cells", covered, f.Len())
+	}
+
+	// Streaming retrieval honors the relative bound against the original.
+	rel := 1e-4
+	out := filepath.Join(t.TempDir(), "recon.bin")
+	_, stats, err := RetrieveTiledRel(dir, rel, out, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BytesFetched <= 0 || stats.BytesFetched > stats.BytesStored {
+		t.Fatalf("fetched %d of %d stored bytes", stats.BytesFetched, stats.BytesStored)
+	}
+	_, rec, err := fieldio.Read(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol := rel * ts.ValueRange
+	if got := grid.MaxAbsDiff(f, rec); got > tol {
+		t.Fatalf("tiled round trip error %g exceeds tolerance %g", got, tol)
+	}
+}
+
+// TestCompressTiledTileBytesMatchStandalone checks a tile's artifact is
+// byte-identical to compressing that slab alone through CompressToFile —
+// the tiled path adds orchestration, not a new format.
+func TestCompressTiledTileBytesMatchStandalone(t *testing.T) {
+	dims := []int{12, 9, 9}
+	path, f := writeSeededFieldFile(t, 21, dims...)
+	r, err := fieldio.OpenReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	cfg := DefaultConfig()
+	cfg.Decompose.Levels = 2
+	dir := filepath.Join(t.TempDir(), "tiles")
+	ts, err := CompressTiled(r, cfg, dir, TileOptions{SlabThickness: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts.Tiles) != 2 {
+		t.Fatalf("got %d tiles, want 2", len(ts.Tiles))
+	}
+	slab := f.Slice([]int{6, 0, 0}, []int{12, 9, 9})
+	ref := filepath.Join(t.TempDir(), "ref.pmgd")
+	if _, err := CompressToFile(slab, cfg, "tiled", 4, ref); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, ts.Tiles[1].File))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("tile artifact differs from standalone compression (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestCompressTiledBudgetTooSmall checks an impossible budget is refused
+// up front rather than silently overshot.
+func TestCompressTiledBudgetTooSmall(t *testing.T) {
+	path, _ := writeSeededFieldFile(t, 3, 16, 32, 32)
+	r, err := fieldio.OpenReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	_, err = CompressTiled(r, DefaultConfig(), t.TempDir(), TileOptions{MemBudget: 1024})
+	if err == nil {
+		t.Fatal("accepted a budget smaller than two minimal slabs")
+	}
+}
+
+// TestCompressTiledReadError checks a truncated source fails cleanly and
+// returns every tile buffer to the allocator.
+func TestCompressTiledReadError(t *testing.T) {
+	path, _ := writeSeededFieldFile(t, 5, 16, 8, 8)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-8*100); err != nil {
+		t.Fatal(err)
+	}
+	r, err := fieldio.OpenReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var alloc fieldio.TileAlloc
+	cfg := DefaultConfig()
+	cfg.Decompose.Levels = 2
+	_, err = CompressTiled(r, cfg, t.TempDir(), TileOptions{SlabThickness: 4, Alloc: &alloc})
+	if err == nil {
+		t.Fatal("compressing a truncated field succeeded")
+	}
+	if live := alloc.LiveBytes(); live != 0 {
+		t.Fatalf("%d tile bytes leaked on the error path", live)
+	}
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestParallelSweepQuick runs the GOMAXPROCS sweep at smoke scale and
+// checks its invariants: GOMAXPROCS is restored, points line up with the
+// requested procs, and the first point is the speedup baseline.
+func TestParallelSweepQuick(t *testing.T) {
+	before := runtime.GOMAXPROCS(0)
+	points, err := ParallelSweep(Quick(), []int{1, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := runtime.GOMAXPROCS(0); after != before {
+		t.Fatalf("GOMAXPROCS left at %d, was %d", after, before)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want 2", len(points))
+	}
+	for i, pr := range []int{1, 2} {
+		if points[i].Procs != pr {
+			t.Fatalf("point %d has procs %d, want %d", i, points[i].Procs, pr)
+		}
+		if points[i].RefactorNs <= 0 || points[i].RetrieveNs <= 0 {
+			t.Fatalf("point %d has non-positive timings: %+v", i, points[i])
+		}
+		if points[i].RefactorMBps <= 0 {
+			t.Fatalf("point %d has non-positive throughput", i)
+		}
+	}
+	if points[0].RefactorSpeedup != 1 || points[0].RetrieveSpeedup != 1 {
+		t.Fatalf("baseline speedups not 1: %+v", points[0])
+	}
+	if points[1].RefactorSpeedup <= 0 {
+		t.Fatalf("point 1 speedup %g", points[1].RefactorSpeedup)
+	}
+	tab := ParallelTable(points)
+	if len(tab.Rows) != 2 || len(tab.Columns) != 6 {
+		t.Fatalf("table shape %dx%d", len(tab.Rows), len(tab.Columns))
+	}
+
+	if _, err := ParallelSweep(Quick(), nil, 1); err == nil {
+		t.Fatal("empty proc list accepted")
+	}
+	if _, err := ParallelSweep(Quick(), []int{0}, 1); err == nil {
+		t.Fatal("proc count 0 accepted")
+	}
+}

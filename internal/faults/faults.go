@@ -14,6 +14,7 @@ package faults
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -294,3 +295,51 @@ func (s *Store) Stats() Stats { return s.in.snapshot() }
 // the store is shared across goroutines; a nil or metrics-less o is a
 // no-op.
 func (s *Store) Instrument(o *obs.Obs) { s.in.instrument(o) }
+
+// ReaderAt wraps an io.ReaderAt with fault injection for the windowed
+// field-read path. Decisions are keyed on the 4 KiB block index of the
+// read offset (as the "plane", level 0), so the same deterministic
+// (seed, block, attempt) replay property holds for byte-ranged reads.
+// A truncation fault surfaces as a short read ending in io.EOF — exactly
+// how a truncated file looks through a real os.File.
+type ReaderAt struct {
+	r  io.ReaderAt
+	in *injector
+}
+
+// faultBlockShift sizes the fault-decision granularity for ranged reads.
+const faultBlockShift = 12
+
+// WrapReaderAt wraps r so its ranged reads are filtered through cfg's
+// faults. Permanent planes in cfg address block indices at level 0.
+func WrapReaderAt(r io.ReaderAt, cfg Config) *ReaderAt {
+	return &ReaderAt{r: r, in: newInjector(cfg)}
+}
+
+// ReadAt implements io.ReaderAt with injected faults.
+func (r *ReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	block := int(off >> faultBlockShift)
+	attempt, err := r.in.admit(0, block)
+	if err != nil {
+		return 0, err
+	}
+	n, err := r.r.ReadAt(p, off)
+	if err != nil {
+		return n, err
+	}
+	out := r.in.mangle(0, block, attempt, p[:n])
+	copy(p, out)
+	if len(out) < n {
+		return len(out), io.EOF
+	}
+	return n, nil
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (r *ReaderAt) Stats() Stats { return r.in.snapshot() }
+
+// Instrument rebinds the fault counters to shared instruments in o's
+// registry under faults.*, folding in anything counted so far. Call before
+// the reader is shared across goroutines; a nil or metrics-less o is a
+// no-op.
+func (r *ReaderAt) Instrument(o *obs.Obs) { r.in.instrument(o) }

@@ -1,0 +1,223 @@
+package pool
+
+import (
+	"sync"
+	"time"
+)
+
+// Ordered is the bounded-channel pipeline primitive behind the streaming
+// compression path: a single driver goroutine submits payload-producing jobs
+// in index order, up to `workers` goroutines run them concurrently, and one
+// consumer callback receives the produced payloads in exactly submission
+// order — an ordered fan-in merge. At most `window` jobs are in flight
+// (submitted but not yet consumed) at any moment, so the pipeline holds a
+// bounded number of payloads regardless of how many jobs flow through it.
+//
+// The determinism contract extends pool.Run's slot-writer guarantee to
+// streaming sinks: consume(i, payload) is invoked in strictly increasing i
+// with payloads that depend only on the job closures, never on scheduling,
+// so a sink that appends bytes in consume order produces identical output
+// at every worker count — including 1, where Submit runs the job and the
+// consumer inline on the driver goroutine with no goroutines at all.
+//
+// Error handling is deterministic too: the error reported by Wait is the
+// one raised at the lowest submitted index (produce or consume), matching
+// what the sequential path would hit first. After an error no further
+// payloads are consumed and subsequently submitted jobs are dropped without
+// running, but jobs already dispatched drain cleanly.
+type Ordered struct {
+	workers int
+	window  int
+	consume func(i int, payload []byte) error
+	m       *Metrics
+
+	// Sequential (workers == 1) state: everything runs inline on Submit.
+	seq     bool
+	seqNext int
+	seqErr  error
+
+	// Concurrent state.
+	jobs    chan orderedJob
+	results chan orderedResult
+	slots   chan struct{}
+	wg      sync.WaitGroup // producer workers
+	done    chan struct{}  // consumer exit
+	next    int            // next index to assign (driver goroutine only)
+
+	mu  sync.Mutex
+	err error // error at the lowest index seen so far
+	at  int   // index err was raised at
+}
+
+type orderedJob struct {
+	i  int
+	fn func(worker int) ([]byte, error)
+}
+
+type orderedResult struct {
+	i       int
+	payload []byte
+	err     error
+}
+
+// NewOrdered builds an ordered pipeline delivering payloads to consume.
+// workers follows the Clamp convention (≤ 0 means GOMAXPROCS); window is
+// clamped to at least workers so the fan-out can keep every worker busy.
+// m, when non-nil, records the pool's standard per-task telemetry
+// (submitted/completed counts, queue depth, wait and task histograms) for
+// the pipeline's produce stage.
+//
+// The consume callback runs on a single goroutine (the driver itself when
+// workers == 1) and must not call Submit or Wait.
+func NewOrdered(workers, window int, m *Metrics, consume func(i int, payload []byte) error) *Ordered {
+	workers = Clamp(workers)
+	if window < workers {
+		window = workers
+	}
+	p := &Ordered{workers: workers, window: window, consume: consume, m: m}
+	if workers == 1 {
+		p.seq = true
+		return p
+	}
+	p.jobs = make(chan orderedJob, window)
+	p.results = make(chan orderedResult, window)
+	p.slots = make(chan struct{}, window)
+	p.done = make(chan struct{})
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go p.worker(w)
+	}
+	go p.consumer()
+	return p
+}
+
+// record notes an error at index i, keeping the lowest-index one.
+func (p *Ordered) record(i int, err error) {
+	p.mu.Lock()
+	if p.err == nil || i < p.at {
+		p.err, p.at = err, i
+	}
+	p.mu.Unlock()
+}
+
+// failed reports whether any error has been recorded.
+func (p *Ordered) failed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err != nil
+}
+
+// Submit schedules the next job in index order. It blocks while the window
+// is full — this back-pressure is what bounds the driver's read-ahead and
+// hence the pipeline's memory. After an error has been recorded the job is
+// dropped without running; Wait reports the error.
+func (p *Ordered) Submit(produce func(worker int) ([]byte, error)) {
+	if p.seq {
+		i := p.seqNext
+		p.seqNext++
+		if p.seqErr != nil {
+			return
+		}
+		start := time.Now()
+		if p.m != nil {
+			p.m.Submitted.Add(1)
+		}
+		payload, err := produce(0)
+		if p.m != nil {
+			p.m.Task.Observe(time.Since(start).Seconds())
+			p.m.Completed.Add(1)
+		}
+		if err == nil {
+			err = p.consume(i, payload)
+		}
+		if err != nil {
+			p.seqErr = err
+		}
+		return
+	}
+	i := p.next
+	p.next++
+	if p.failed() {
+		return
+	}
+	p.slots <- struct{}{}
+	if p.m != nil {
+		p.m.Submitted.Add(1)
+		p.m.QueueDepth.Add(1)
+	}
+	p.jobs <- orderedJob{i: i, fn: produce}
+}
+
+// worker drains the job queue, forwarding every job's outcome to the
+// consumer so slot accounting stays exact even on failure.
+func (p *Ordered) worker(w int) {
+	defer p.wg.Done()
+	for j := range p.jobs {
+		start := time.Now()
+		if p.m != nil {
+			p.m.QueueDepth.Add(-1)
+		}
+		var payload []byte
+		var err error
+		if p.failed() {
+			// A recorded error stops downstream consumption anyway; skip the
+			// work but still emit a result to release the window slot.
+			payload, err = nil, nil
+		} else {
+			payload, err = j.fn(w)
+		}
+		if p.m != nil {
+			dur := time.Since(start).Seconds()
+			p.m.Task.Observe(dur)
+			tasks, busy := p.m.worker(w)
+			tasks.Add(1)
+			busy.Add(dur)
+			p.m.Completed.Add(1)
+		}
+		p.results <- orderedResult{i: j.i, payload: payload, err: err}
+	}
+}
+
+// consumer merges results back into submission order and applies consume.
+func (p *Ordered) consumer() {
+	defer close(p.done)
+	pending := make(map[int]orderedResult, p.window)
+	nextOut := 0
+	for r := range p.results {
+		pending[r.i] = r
+		for {
+			cur, ok := pending[nextOut]
+			if !ok {
+				break
+			}
+			delete(pending, nextOut)
+			switch {
+			case cur.err != nil:
+				p.record(cur.i, cur.err)
+			case !p.failed():
+				if err := p.consume(cur.i, cur.payload); err != nil {
+					p.record(cur.i, err)
+				}
+			}
+			nextOut++
+			<-p.slots
+		}
+	}
+}
+
+// Wait drains the pipeline: it blocks until every submitted job has been
+// produced and consumed (or dropped after an error), releases the worker
+// goroutines, and returns the lowest-index error, if any. The pipeline
+// must not be used after Wait.
+func (p *Ordered) Wait() error {
+	if p.seq {
+		return p.seqErr
+	}
+	close(p.jobs)
+	p.wg.Wait()
+	close(p.results)
+	<-p.done
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}

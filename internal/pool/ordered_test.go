@@ -1,0 +1,251 @@
+package pool
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pmgard/internal/obs"
+)
+
+// runOrdered pushes n jobs through a pipeline at the given worker count and
+// returns the concatenated consume-order output.
+func runOrdered(t *testing.T, n, workers, window int, payload func(i int) []byte) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	wantNext := 0
+	p := NewOrdered(workers, window, nil, func(i int, b []byte) error {
+		if i != wantNext {
+			t.Errorf("consume order: got index %d, want %d", i, wantNext)
+		}
+		wantNext++
+		out.Write(b)
+		return nil
+	})
+	for i := 0; i < n; i++ {
+		i := i
+		p.Submit(func(worker int) ([]byte, error) {
+			// Jitter completion order so the merge actually reorders.
+			time.Sleep(time.Duration(rand.Intn(200)) * time.Microsecond)
+			return payload(i), nil
+		})
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if wantNext != n {
+		t.Fatalf("consumed %d payloads, want %d", wantNext, n)
+	}
+	return out.Bytes()
+}
+
+// TestOrderedByteIdentical is the pipeline's core contract: the consumed
+// byte stream is identical at every worker count.
+func TestOrderedByteIdentical(t *testing.T) {
+	payload := func(i int) []byte {
+		return []byte(fmt.Sprintf("seg-%04d|", i*i+3))
+	}
+	const n = 64
+	want := runOrdered(t, n, 1, 4, payload)
+	for _, workers := range []int{2, 4, 8} {
+		for _, window := range []int{1, 2, 8} {
+			got := runOrdered(t, n, workers, window, payload)
+			if !bytes.Equal(got, want) {
+				t.Errorf("workers=%d window=%d: output differs from sequential", workers, window)
+			}
+		}
+	}
+}
+
+// TestOrderedWindowBound asserts back-pressure: the number of payloads
+// produced but not yet consumed never exceeds the window.
+func TestOrderedWindowBound(t *testing.T) {
+	const n, workers, window = 48, 4, 6
+	var produced, consumed atomic.Int64
+	var maxInFlight atomic.Int64
+	p := NewOrdered(workers, window, nil, func(i int, b []byte) error {
+		// Slow consumer: forces producers to fill the window and block.
+		time.Sleep(500 * time.Microsecond)
+		consumed.Add(1)
+		return nil
+	})
+	for i := 0; i < n; i++ {
+		p.Submit(func(worker int) ([]byte, error) {
+			in := produced.Add(1) - consumed.Load()
+			for {
+				cur := maxInFlight.Load()
+				if in <= cur || maxInFlight.CompareAndSwap(cur, in) {
+					break
+				}
+			}
+			return nil, nil
+		})
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	// Allow one extra slot of slack for the produced/consumed read skew.
+	if got := maxInFlight.Load(); got > window+1 {
+		t.Errorf("max in-flight payloads = %d, want <= window %d", got, window)
+	}
+}
+
+// TestOrderedLowestIndexError pins the deterministic error contract: the
+// error surfaced by Wait is the lowest-index failure, not the first one
+// scheduled, at any worker count.
+func TestOrderedLowestIndexError(t *testing.T) {
+	errAt := func(i int) error { return fmt.Errorf("produce %d failed", i) }
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := NewOrdered(workers, 8, nil, func(i int, b []byte) error { return nil })
+		for i := 0; i < 32; i++ {
+			i := i
+			p.Submit(func(worker int) ([]byte, error) {
+				if i == 7 || i == 3 || i == 21 {
+					return nil, errAt(i)
+				}
+				return nil, nil
+			})
+		}
+		err := p.Wait()
+		if err == nil || err.Error() != errAt(3).Error() {
+			t.Errorf("workers=%d: Wait = %v, want %v", workers, err, errAt(3))
+		}
+	}
+}
+
+// TestOrderedConsumeError checks that a consume-side failure surfaces and
+// stops further consumption.
+func TestOrderedConsumeError(t *testing.T) {
+	sentinel := errors.New("sink full")
+	for _, workers := range []int{1, 4} {
+		var after atomic.Int64
+		p := NewOrdered(workers, 4, nil, func(i int, b []byte) error {
+			if i == 5 {
+				return sentinel
+			}
+			if i > 5 {
+				after.Add(1)
+			}
+			return nil
+		})
+		for i := 0; i < 24; i++ {
+			p.Submit(func(worker int) ([]byte, error) { return nil, nil })
+		}
+		if err := p.Wait(); !errors.Is(err, sentinel) {
+			t.Errorf("workers=%d: Wait = %v, want %v", workers, err, sentinel)
+		}
+		if n := after.Load(); n != 0 {
+			t.Errorf("workers=%d: %d payloads consumed after the failing index", workers, n)
+		}
+	}
+}
+
+// TestOrderedErrorStopsProduce checks that jobs submitted after an error
+// has been recorded are dropped without running.
+func TestOrderedErrorStopsProduce(t *testing.T) {
+	sentinel := errors.New("boom")
+	p := NewOrdered(2, 2, nil, func(i int, b []byte) error { return nil })
+	var ran atomic.Int64
+	p.Submit(func(worker int) ([]byte, error) { return nil, sentinel })
+	if err := p.Wait(); !errors.Is(err, sentinel) {
+		t.Fatalf("Wait = %v, want %v", err, sentinel)
+	}
+	// A fresh pipeline observes the same short-circuit per Submit once an
+	// error is recorded mid-stream.
+	p = NewOrdered(2, 2, nil, func(i int, b []byte) error { return nil })
+	var wg sync.WaitGroup
+	wg.Add(1)
+	p.Submit(func(worker int) ([]byte, error) {
+		defer wg.Done()
+		return nil, sentinel
+	})
+	wg.Wait() // error produced; consumer records it shortly after
+	for i := 0; i < 100; i++ {
+		p.Submit(func(worker int) ([]byte, error) {
+			ran.Add(1)
+			return nil, nil
+		})
+	}
+	if err := p.Wait(); !errors.Is(err, sentinel) {
+		t.Fatalf("Wait = %v, want %v", err, sentinel)
+	}
+	if n := ran.Load(); n == 100 {
+		t.Errorf("all %d post-error jobs ran; expected the pipeline to short-circuit", n)
+	}
+}
+
+// TestOrderedEmpty checks Wait on a pipeline with no submissions.
+func TestOrderedEmpty(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := NewOrdered(workers, 2, nil, func(i int, b []byte) error {
+			t.Fatal("consume called with no submissions")
+			return nil
+		})
+		if err := p.Wait(); err != nil {
+			t.Errorf("workers=%d: Wait = %v, want nil", workers, err)
+		}
+	}
+}
+
+// TestOrderedMetrics checks the telemetry wiring: submitted/completed
+// counters advance and queue depth returns to zero.
+func TestOrderedMetrics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		o := obs.New()
+		m := NewMetrics(o, "ordered.test")
+		p := NewOrdered(workers, 4, m, func(i int, b []byte) error { return nil })
+		const n = 16
+		for i := 0; i < n; i++ {
+			p.Submit(func(worker int) ([]byte, error) { return nil, nil })
+		}
+		if err := p.Wait(); err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+		snap := o.Metrics.Snapshot()
+		if got := snap.Counters["pool.ordered.test.submitted"]; got != n {
+			t.Errorf("workers=%d: submitted = %d, want %d", workers, got, n)
+		}
+		if got := snap.Counters["pool.ordered.test.completed"]; got != n {
+			t.Errorf("workers=%d: completed = %d, want %d", workers, got, n)
+		}
+		if got := snap.Gauges["pool.ordered.test.queue_depth"]; got != 0 {
+			t.Errorf("workers=%d: queue_depth = %v, want 0", workers, got)
+		}
+	}
+}
+
+// TestClampTracksGOMAXPROCS pins the satellite behavior: the default worker
+// count follows runtime.GOMAXPROCS(0), and explicit counts pass through.
+func TestClampTracksGOMAXPROCS(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	runtime.GOMAXPROCS(1)
+	if got := Clamp(0); got != 1 {
+		t.Errorf("GOMAXPROCS=1: Clamp(0) = %d, want 1", got)
+	}
+	if got := Clamp(-3); got != 1 {
+		t.Errorf("GOMAXPROCS=1: Clamp(-3) = %d, want 1", got)
+	}
+
+	runtime.GOMAXPROCS(4)
+	if got := Clamp(0); got != 4 {
+		t.Errorf("GOMAXPROCS=4: Clamp(0) = %d, want 4", got)
+	}
+	if got := Clamp(-1); got != 4 {
+		t.Errorf("GOMAXPROCS=4: Clamp(-1) = %d, want 4", got)
+	}
+	// Explicit worker counts are never overridden by the hardware default.
+	if got := Clamp(2); got != 2 {
+		t.Errorf("GOMAXPROCS=4: Clamp(2) = %d, want 2", got)
+	}
+	if got := Clamp(9); got != 9 {
+		t.Errorf("GOMAXPROCS=4: Clamp(9) = %d, want 9", got)
+	}
+}

@@ -107,28 +107,15 @@ func (w *Writer) Close() error {
 		return sa.Plane < sb.Plane
 	})
 
-	headerSize := uint64(4 + 4 + 4 + len(w.meta) + 4 + len(w.segs)*tableEntrySize)
-	offset := headerSize
-	for _, i := range order {
+	offset := headerSize(len(w.meta), len(w.segs))
+	ordered := make([]segEntry, len(order))
+	for o, i := range order {
 		w.segs[i].offset = offset
 		offset += w.segs[i].size
+		ordered[o] = w.segs[i]
 	}
 
-	var buf []byte
-	buf = append(buf, magic...)
-	buf = binary.LittleEndian.AppendUint32(buf, formatVersion)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(w.meta)))
-	buf = append(buf, w.meta...)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(w.segs)))
-	for _, i := range order {
-		s := w.segs[i]
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(s.id.Level))
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(s.id.Plane))
-		buf = binary.LittleEndian.AppendUint64(buf, s.offset)
-		buf = binary.LittleEndian.AppendUint64(buf, s.size)
-		buf = binary.LittleEndian.AppendUint32(buf, s.crc)
-	}
-	if _, err := w.f.Write(buf); err != nil {
+	if _, err := w.f.Write(buildHeader(w.meta, ordered)); err != nil {
 		w.f.Close()
 		return fmt.Errorf("storage: write header: %w", err)
 	}

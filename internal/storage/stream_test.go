@@ -1,0 +1,334 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// streamTestSegs is a deterministic segment set spanning several levels,
+// with a skipped plane and an empty payload.
+func streamTestSegs() []struct {
+	id      SegmentID
+	payload []byte
+} {
+	var segs []struct {
+		id      SegmentID
+		payload []byte
+	}
+	for l := 0; l < 4; l++ {
+		for p := 0; p < 5; p++ {
+			if l == 2 && p == 1 {
+				continue // skipped plane
+			}
+			payload := bytes.Repeat([]byte{byte(17*l + 3*p + 1)}, 7*l+p)
+			segs = append(segs, struct {
+				id      SegmentID
+				payload []byte
+			}{SegmentID{Level: l, Plane: p}, payload})
+		}
+	}
+	return segs
+}
+
+// TestStreamWriterByteIdentical is the streaming writer's core contract:
+// the file it produces is byte-for-byte the file Writer produces from the
+// same segments.
+func TestStreamWriterByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	meta := []byte(`{"header":"blob","planes":32}`)
+	segs := streamTestSegs()
+
+	batchPath := filepath.Join(dir, "batch.pmgd")
+	w, err := Create(batchPath, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range segs {
+		if err := w.WriteSegment(s.id, s.payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	streamPath := filepath.Join(dir, "stream.pmgd")
+	sw, err := CreateStream(streamPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Abort()
+	for _, s := range segs {
+		if err := sw.WriteSegment(s.id, s.payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Commit(meta); err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := os.ReadFile(batchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(streamPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("streamed store differs from batch store (%d vs %d bytes)", len(got), len(want))
+	}
+	if _, err := os.Stat(streamPath + ".spill"); !os.IsNotExist(err) {
+		t.Fatalf("spill file not removed after Commit: %v", err)
+	}
+	// And the streamed file opens and reads back through the normal Store.
+	st, err := Open(streamPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for _, s := range segs {
+		got, err := st.ReadSegment(s.id)
+		if err != nil {
+			t.Fatalf("%+v: %v", s.id, err)
+		}
+		if !bytes.Equal(got, s.payload) {
+			t.Fatalf("%+v payload mismatch", s.id)
+		}
+	}
+}
+
+// TestStreamWriterOrderEnforced checks the arrival-order contract that
+// stands in for Writer's sort.
+func TestStreamWriterOrderEnforced(t *testing.T) {
+	sw, err := CreateStream(filepath.Join(t.TempDir(), "s.pmgd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Abort()
+	if err := sw.WriteSegment(SegmentID{Level: 1, Plane: 2}, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.WriteSegment(SegmentID{Level: 1, Plane: 2}, []byte("b")); err == nil {
+		t.Error("duplicate segment accepted")
+	}
+	if err := sw.WriteSegment(SegmentID{Level: 1, Plane: 1}, []byte("c")); err == nil {
+		t.Error("plane regression accepted")
+	}
+	if err := sw.WriteSegment(SegmentID{Level: 0, Plane: 9}, []byte("d")); err == nil {
+		t.Error("level regression accepted")
+	}
+	if err := sw.WriteSegment(SegmentID{Level: 2, Plane: 0}, []byte("e")); err != nil {
+		t.Errorf("level advance rejected: %v", err)
+	}
+}
+
+// TestStreamWriterAbort checks that Abort leaves nothing behind.
+func TestStreamWriterAbort(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "aborted.pmgd")
+	sw, err := CreateStream(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.WriteSegment(SegmentID{Level: 0, Plane: 0}, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	sw.Abort()
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("final file exists after Abort: %v", err)
+	}
+	if _, err := os.Stat(path + ".spill"); !os.IsNotExist(err) {
+		t.Errorf("spill file exists after Abort: %v", err)
+	}
+	if err := sw.WriteSegment(SegmentID{Level: 0, Plane: 1}, []byte("x")); err == nil {
+		t.Error("write after Abort accepted")
+	}
+	if err := sw.Commit(nil); err == nil {
+		t.Error("commit after Abort accepted")
+	}
+}
+
+// TestTieredWriterSetMeta checks the streaming-metadata path: meta provided
+// after the segments, at Close time, reads back intact.
+func TestTieredWriterSetMeta(t *testing.T) {
+	h, err := DefaultHierarchy(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "store")
+	w, err := CreateTiered(dir, h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSegment(SegmentID{Level: 0, Plane: 0}, []byte("seg")); err != nil {
+		t.Fatal(err)
+	}
+	meta := []byte(`{"late":"header"}`)
+	if err := w.SetMeta(meta); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenTiered(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if !bytes.Equal(st.Meta(), meta) {
+		t.Fatalf("meta = %q, want %q", st.Meta(), meta)
+	}
+	if err := w.SetMeta(nil); err == nil {
+		t.Error("SetMeta after Close accepted")
+	}
+}
+
+// TestTieredStoreFDCap is the fd-growth regression test: with a handle cap
+// the resident fd count stays at the cap no matter how many levels are
+// scanned, and ReleaseLevel drops handles eagerly.
+func TestTieredStoreFDCap(t *testing.T) {
+	const levels = 6
+	h, err := DefaultHierarchy(levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "store")
+	w, err := CreateTiered(dir, h, []byte("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[SegmentID][]byte)
+	for l := 0; l < levels; l++ {
+		for p := 0; p < 3; p++ {
+			id := SegmentID{Level: l, Plane: p}
+			payload := bytes.Repeat([]byte{byte(l*16 + p + 1)}, 9+l)
+			want[id] = payload
+			if err := w.WriteSegment(id, payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := OpenTiered(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	// Unbounded default: handles accumulate, one per level touched — the
+	// historical behavior the cap exists to fix.
+	for l := 0; l < levels; l++ {
+		if _, err := st.ReadSegment(SegmentID{Level: l, Plane: 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := st.openFiles(); got != levels {
+		t.Fatalf("unbounded scan: %d handles resident, want %d", got, levels)
+	}
+
+	// Capping immediately evicts down to the cap, and a full multi-pass
+	// scan never exceeds it.
+	const maxFDs = 2
+	st.SetMaxOpenFiles(maxFDs)
+	if got := st.openFiles(); got > maxFDs {
+		t.Fatalf("after SetMaxOpenFiles(%d): %d handles resident", maxFDs, got)
+	}
+	for pass := 0; pass < 3; pass++ {
+		for l := 0; l < levels; l++ {
+			for p := 0; p < 3; p++ {
+				id := SegmentID{Level: l, Plane: p}
+				got, err := st.ReadSegment(id)
+				if err != nil {
+					t.Fatalf("pass %d %+v: %v", pass, id, err)
+				}
+				if !bytes.Equal(got, want[id]) {
+					t.Fatalf("pass %d %+v: payload mismatch", pass, id)
+				}
+				if n := st.openFiles(); n > maxFDs {
+					t.Fatalf("pass %d %+v: %d handles resident, cap %d", pass, id, n, maxFDs)
+				}
+			}
+		}
+	}
+
+	// ReleaseLevel drops handles eagerly even without a cap.
+	st.SetMaxOpenFiles(0)
+	for l := 0; l < levels; l++ {
+		st.ReleaseLevel(l) // clear residue from the capped scan
+	}
+	if got := st.openFiles(); got != 0 {
+		t.Fatalf("%d handles resident after releasing every level", got)
+	}
+	for l := 0; l < levels; l++ {
+		if _, err := st.ReadSegment(SegmentID{Level: l, Plane: 1}); err != nil {
+			t.Fatal(err)
+		}
+		st.ReleaseLevel(l)
+		if got := st.openFiles(); got != 0 {
+			t.Fatalf("level %d: %d handles resident after ReleaseLevel", l, got)
+		}
+	}
+	// A released level reopens transparently.
+	if _, err := st.ReadSegment(SegmentID{Level: 0, Plane: 2}); err != nil {
+		t.Fatalf("read after release: %v", err)
+	}
+}
+
+// TestTieredStoreFDCapConcurrent hammers a capped store from many
+// goroutines: eviction must never close a handle mid-read.
+func TestTieredStoreFDCapConcurrent(t *testing.T) {
+	const levels = 5
+	h, err := DefaultHierarchy(levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "store")
+	w, err := CreateTiered(dir, h, []byte("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l < levels; l++ {
+		if err := w.WriteSegment(SegmentID{Level: l, Plane: 0}, bytes.Repeat([]byte{byte(l + 1)}, 1024)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenTiered(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	st.SetMaxOpenFiles(1)
+
+	errc := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 50; i++ {
+				l := (g + i) % levels
+				b, err := st.ReadSegment(SegmentID{Level: l, Plane: 0})
+				if err != nil {
+					errc <- fmt.Errorf("goroutine %d read level %d: %w", g, l, err)
+					return
+				}
+				if len(b) != 1024 || b[0] != byte(l+1) {
+					errc <- fmt.Errorf("goroutine %d level %d: bad payload", g, l)
+					return
+				}
+			}
+			errc <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -17,18 +17,27 @@ import (
 // (e.g. nvme/, ssd/, hdd/, tape/), one file per level holding its plane
 // segments contiguously. A manifest at the root records the placement and
 // the shared metadata blob.
+//
+// The writer streams: each payload is appended to its level's temporary
+// file the moment WriteSegment returns, so the writer's memory footprint
+// is per-plane bookkeeping (sizes and CRCs), never payload bytes. Open
+// file handles are bounded by the level count. Close writes the manifest
+// and renames everything into place atomically, exactly as before.
 type TieredWriter struct {
 	root      string
 	hierarchy Hierarchy
 	meta      []byte
-	// perLevel[l] collects (plane, payload) pairs until Close.
-	perLevel map[int][]tieredSeg
-	closed   bool
+	levels    map[int]*tieredLevel
+	closed    bool
 }
 
-type tieredSeg struct {
-	plane   int
-	payload []byte
+// tieredLevel is the streaming state of one level's tier file.
+type tieredLevel struct {
+	f     *os.File
+	tmp   string
+	final string
+	sizes []int64
+	crcs  []uint32
 }
 
 // tieredManifest is the JSON manifest of a tiered store.
@@ -72,12 +81,45 @@ func CreateTiered(dir string, h Hierarchy, meta []byte) (*TieredWriter, error) {
 		root:      dir,
 		hierarchy: h,
 		meta:      meta,
-		perLevel:  make(map[int][]tieredSeg),
+		levels:    make(map[int]*tieredLevel),
 	}, nil
 }
 
-// WriteSegment buffers one (level, plane) payload. Planes of a level must
-// be written in increasing plane order.
+// SetMeta replaces the opaque metadata blob before Close. Streaming callers
+// use this: the compression header is only complete once every segment has
+// been produced, long after the writer was created.
+func (w *TieredWriter) SetMeta(meta []byte) error {
+	if w.closed {
+		return fmt.Errorf("storage: set meta on closed tiered writer")
+	}
+	w.meta = meta
+	return nil
+}
+
+// level returns (opening if needed) the streaming state for level l.
+func (w *TieredWriter) level(l int) (*tieredLevel, error) {
+	if lv, ok := w.levels[l]; ok {
+		return lv, nil
+	}
+	tierName := w.hierarchy.Tiers[w.hierarchy.Placement[l]].Name
+	dir := filepath.Join(w.root, tierName)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create tier dir: %w", err)
+	}
+	final := filepath.Join(dir, fmt.Sprintf("level_%d.seg", l))
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, fmt.Errorf("storage: create level file: %w", err)
+	}
+	lv := &tieredLevel{f: f, tmp: tmp, final: final}
+	w.levels[l] = lv
+	return lv, nil
+}
+
+// WriteSegment appends one (level, plane) payload to its level's tier file.
+// Planes of a level must be written in increasing plane order. The payload
+// is on disk when WriteSegment returns; the caller may recycle the buffer.
 func (w *TieredWriter) WriteSegment(id SegmentID, payload []byte) error {
 	if w.closed {
 		return fmt.Errorf("storage: write to closed tiered writer")
@@ -85,13 +127,40 @@ func (w *TieredWriter) WriteSegment(id SegmentID, payload []byte) error {
 	if id.Level < 0 || id.Level >= len(w.hierarchy.Placement) {
 		return fmt.Errorf("storage: level %d outside placement of %d levels", id.Level, len(w.hierarchy.Placement))
 	}
-	segs := w.perLevel[id.Level]
-	if len(segs) > 0 && segs[len(segs)-1].plane >= id.Plane {
-		return fmt.Errorf("storage: level %d planes must be written in order (got %d after %d)",
-			id.Level, id.Plane, segs[len(segs)-1].plane)
+	lv, err := w.level(id.Level)
+	if err != nil {
+		return err
 	}
-	w.perLevel[id.Level] = append(segs, tieredSeg{plane: id.Plane, payload: payload})
+	if last := len(lv.sizes) - 1; last >= 0 && last >= id.Plane {
+		return fmt.Errorf("storage: level %d planes must be written in order (got %d after %d)",
+			id.Level, id.Plane, last)
+	}
+	// Pad skipped plane ids with zero-length entries so plane k is always
+	// entry k.
+	for len(lv.sizes) < id.Plane {
+		lv.sizes = append(lv.sizes, 0)
+		lv.crcs = append(lv.crcs, 0)
+	}
+	if _, err := lv.f.Write(payload); err != nil {
+		return fmt.Errorf("storage: write level %d: %w", id.Level, err)
+	}
+	lv.sizes = append(lv.sizes, int64(len(payload)))
+	lv.crcs = append(lv.crcs, crc32.ChecksumIEEE(payload))
 	return nil
+}
+
+// Abort discards the write: open level files are closed and their
+// temporary files removed, and no manifest is written, so OpenTiered never
+// sees the partial store. A no-op after Close or a prior Abort.
+func (w *TieredWriter) Abort() {
+	if w.closed {
+		return
+	}
+	w.closed = true
+	for _, lv := range w.levels {
+		lv.f.Close()
+		os.Remove(lv.tmp)
+	}
 }
 
 // Close writes the per-tier level files and the manifest. The write is
@@ -123,43 +192,27 @@ func (w *TieredWriter) Close() (err error) {
 			for _, t := range tmps {
 				os.Remove(t)
 			}
+			// Level files opened for streaming but not yet in tmps (their
+			// Close failed, or a later level's setup did) are cleaned too.
+			for _, lv := range w.levels {
+				lv.f.Close()
+				os.Remove(lv.tmp)
+			}
 		}
 	}()
 	for l := 0; l < len(w.hierarchy.Placement); l++ {
-		tierName := w.hierarchy.Tiers[w.hierarchy.Placement[l]].Name
-		dir := filepath.Join(w.root, tierName)
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return fmt.Errorf("storage: create tier dir: %w", err)
+		// Levels that saw no segments still get (empty) tier files, exactly
+		// as the buffering writer produced.
+		lv, lerr := w.level(l)
+		if lerr != nil {
+			return lerr
 		}
-		final := filepath.Join(dir, fmt.Sprintf("level_%d.seg", l))
-		tmp := final + ".tmp"
-		f, err := os.Create(tmp)
-		if err != nil {
-			return fmt.Errorf("storage: create level file: %w", err)
+		if cerr := lv.f.Close(); cerr != nil {
+			return cerr
 		}
-		tmps, finals = append(tmps, tmp), append(finals, final)
-		segs := w.perLevel[l]
-		var sizes []int64
-		var crcs []uint32
-		for _, s := range segs {
-			// Pad skipped plane ids with zero-length entries so plane k is
-			// always entry k.
-			for len(sizes) < s.plane {
-				sizes = append(sizes, 0)
-				crcs = append(crcs, 0)
-			}
-			if _, err := f.Write(s.payload); err != nil {
-				f.Close()
-				return fmt.Errorf("storage: write level %d: %w", l, err)
-			}
-			sizes = append(sizes, int64(len(s.payload)))
-			crcs = append(crcs, crc32.ChecksumIEEE(s.payload))
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		man.Levels[l] = sizes
-		man.Checksums[l] = crcs
+		tmps, finals = append(tmps, lv.tmp), append(finals, lv.final)
+		man.Levels[l] = lv.sizes
+		man.Checksums[l] = lv.crcs
 	}
 	blob, err := json.Marshal(man)
 	if err != nil {
@@ -182,17 +235,37 @@ func (w *TieredWriter) Close() (err error) {
 
 // TieredStore reads segments from a tiered store directory with per-tier
 // I/O accounting.
+//
+// Open level files are cached in a refcounted handle map. Historically the
+// map only grew — every level ever touched held its fd until Close — which
+// streaming retrieval over many stores turns into fd exhaustion. The cache
+// is now bounded: SetMaxOpenFiles caps resident handles with LRU eviction,
+// and ReleaseLevel drops a level's handle eagerly once a caller knows it is
+// done with the level. Handles are refcounted so eviction never closes a
+// file mid-ReadAt.
 type TieredStore struct {
 	root string
 	man  tieredManifest
 	// offsets[l][k] is the byte offset of plane k within level l's file.
 	offsets [][]int64
-	files   map[int]*os.File
 
-	mu        sync.Mutex
+	mu      sync.Mutex
+	files   map[int]*levelHandle
+	maxOpen int   // 0 = unbounded
+	tick    int64 // LRU clock
+
 	tierBytes map[string]int64
 	tierReqs  map[string]int64
 	o         *obs.Obs
+}
+
+// levelHandle is one level file plus the bookkeeping that lets eviction
+// coexist with in-flight ranged reads.
+type levelHandle struct {
+	f       *os.File
+	refs    int   // in-flight reads holding the handle
+	evicted bool  // close when refs drops to 0; no longer in files map
+	lastUse int64 // LRU tick of the most recent acquire
 }
 
 // Instrument mirrors the per-tier accounting into o's registry as
@@ -247,7 +320,7 @@ func OpenTiered(dir string) (*TieredStore, error) {
 	st := &TieredStore{
 		root:      dir,
 		man:       man,
-		files:     make(map[int]*os.File),
+		files:     make(map[int]*levelHandle),
 		tierBytes: make(map[string]int64),
 		tierReqs:  make(map[string]int64),
 	}
@@ -296,10 +369,12 @@ func (s *TieredStore) ReadSegment(id SegmentID) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	f, err := s.levelFile(id.Level, tier)
+	h, err := s.acquire(id.Level, tier)
 	if err != nil {
 		return nil, err
 	}
+	defer s.release(h)
+	f := h.f
 	fi, err := f.Stat()
 	if err != nil {
 		return nil, fmt.Errorf("storage: stat level %d tier file: %w", id.Level, err)
@@ -343,19 +418,97 @@ func (s *TieredStore) ReadSegment(id SegmentID) ([]byte, error) {
 	return buf, nil
 }
 
-func (s *TieredStore) levelFile(level int, tier string) (*os.File, error) {
+// SetMaxOpenFiles bounds the resident level-file handles to n (0 restores
+// the unbounded default). When a new open would exceed the cap, the
+// least-recently-used idle handle is evicted; handles pinned by in-flight
+// reads are never closed under them, so the cap can be transiently
+// exceeded by the read concurrency.
+func (s *TieredStore) SetMaxOpenFiles(n int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if f, ok := s.files[level]; ok {
-		return f, nil
+	s.maxOpen = n
+	s.evictLocked()
+}
+
+// ReleaseLevel eagerly drops level's cached handle — streaming callers call
+// it once a level has been fully read so long scans never accumulate fds.
+// In-flight reads on the level finish on the old handle; a later read
+// simply reopens. Unknown or unopened levels are a no-op.
+func (s *TieredStore) ReleaseLevel(level int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.files[level]
+	if !ok {
+		return
+	}
+	delete(s.files, level)
+	h.evicted = true
+	if h.refs == 0 {
+		h.f.Close()
+	}
+}
+
+// acquire pins (opening if needed) the handle for level; pair with release.
+func (s *TieredStore) acquire(level int, tier string) (*levelHandle, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tick++
+	if h, ok := s.files[level]; ok {
+		h.refs++
+		h.lastUse = s.tick
+		return h, nil
 	}
 	path := filepath.Join(s.root, tier, fmt.Sprintf("level_%d.seg", level))
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open %s: %w", path, err)
 	}
-	s.files[level] = f
-	return f, nil
+	h := &levelHandle{f: f, refs: 1, lastUse: s.tick}
+	s.files[level] = h
+	s.evictLocked()
+	return h, nil
+}
+
+// release unpins a handle, closing it if it was evicted while in use.
+func (s *TieredStore) release(h *levelHandle) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h.refs--
+	if h.evicted && h.refs == 0 {
+		h.f.Close()
+	}
+}
+
+// evictLocked enforces maxOpen by closing idle LRU handles. Callers hold mu.
+func (s *TieredStore) evictLocked() {
+	if s.maxOpen <= 0 {
+		return
+	}
+	for len(s.files) > s.maxOpen {
+		victim, oldest := -1, int64(0)
+		for l, h := range s.files {
+			if h.refs > 0 {
+				continue
+			}
+			if victim == -1 || h.lastUse < oldest {
+				victim, oldest = l, h.lastUse
+			}
+		}
+		if victim == -1 {
+			return // every handle is pinned; cap exceeded transiently
+		}
+		h := s.files[victim]
+		delete(s.files, victim)
+		h.evicted = true
+		h.f.Close()
+	}
+}
+
+// openFiles reports the resident handle count (for the fd regression test).
+func (s *TieredStore) openFiles() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.files)
 }
 
 // TierBytes returns the payload bytes read from each tier so far.
@@ -380,16 +533,21 @@ func (s *TieredStore) TierRequests() map[string]int64 {
 	return out
 }
 
-// Close releases the tier files.
+// Close releases the tier files. Handles pinned by in-flight reads are
+// marked for close when their reads finish.
 func (s *TieredStore) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var first error
-	for _, f := range s.files {
-		if err := f.Close(); err != nil && first == nil {
+	for _, h := range s.files {
+		h.evicted = true
+		if h.refs > 0 {
+			continue
+		}
+		if err := h.f.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
-	s.files = make(map[int]*os.File)
+	s.files = make(map[int]*levelHandle)
 	return first
 }
